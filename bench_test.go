@@ -1,0 +1,424 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6) at bench scale, plus micro-benchmarks of the pipeline stages and the
+// ablation studies of DESIGN.md. Figure-level benches report the measured
+// series via b.ReportMetric so `go test -bench` output doubles as a compact
+// experiment log; cmd/experiments prints the full tables at any scale.
+package rfidclean_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/constraints"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+	"repro/internal/prior"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+var (
+	benchOnce sync.Once
+	syn1      *dataset.Dataset
+	syn2      *dataset.Dataset
+)
+
+func benchDatasets(b *testing.B) (*dataset.Dataset, *dataset.Dataset) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		if syn1, err = dataset.Build("SYN1", dataset.SYN1()); err != nil {
+			b.Fatal(err)
+		}
+		if syn2, err = dataset.Build("SYN2", dataset.SYN2()); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if syn1 == nil || syn2 == nil {
+		b.Fatal("dataset construction failed earlier")
+	}
+	return syn1, syn2
+}
+
+// benchInstance returns one fixed instance of the given duration.
+func benchInstance(b *testing.B, d *dataset.Dataset, duration int) dataset.Instance {
+	b.Helper()
+	insts, err := d.Generate(duration, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return insts[0]
+}
+
+func buildFor(b *testing.B, d *dataset.Dataset, inst dataset.Instance, sel dataset.Selection) *core.Graph {
+	b.Helper()
+	ls, err := d.Prior.LSequence(inst.Readings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := core.Build(ls, d.Constraints(sel), &core.Options{EndLatency: constraints.LenientEnd})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// --- Micro-benchmarks: the pipeline stages -------------------------------
+
+// BenchmarkBuildCTGraph measures Algorithm 1 on a fixed 5-minute SYN1
+// instance under each constraint set (the per-point cost behind Fig. 8(a)).
+func BenchmarkBuildCTGraph(b *testing.B) {
+	d, _ := benchDatasets(b)
+	inst := benchInstance(b, d, 300)
+	ls, err := d.Prior.LSequence(inst.Readings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sel := range dataset.Selections {
+		ic := d.Constraints(sel)
+		b.Run(sel.String(), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				g, err := core.Build(ls, ic, &core.Options{EndLatency: constraints.LenientEnd})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = g.Stats().Nodes
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+// BenchmarkLSequence measures reading interpretation through p*(l|R).
+func BenchmarkLSequence(b *testing.B) {
+	d, _ := benchDatasets(b)
+	inst := benchInstance(b, d, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Prior.LSequence(inst.Readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStayQuery measures one stay query on a cleaned 5-minute graph.
+func BenchmarkStayQuery(b *testing.B) {
+	d, _ := benchDatasets(b)
+	inst := benchInstance(b, d, 300)
+	for _, sel := range dataset.Selections {
+		g := buildFor(b, d, inst, sel)
+		b.Run(sel.String(), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			for i := 0; i < b.N; i++ {
+				eng := query.NewEngine(g, d.Plan.NumLocations())
+				if _, err := eng.Stay(rng.Intn(300)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrajectoryQuery measures one pattern query on a cleaned graph.
+func BenchmarkTrajectoryQuery(b *testing.B) {
+	d, _ := benchDatasets(b)
+	inst := benchInstance(b, d, 300)
+	locs := make([]int, d.Plan.NumLocations())
+	for i := range locs {
+		locs[i] = i
+	}
+	for _, sel := range dataset.Selections {
+		g := buildFor(b, d, inst, sel)
+		eng := query.NewEngine(g, d.Plan.NumLocations())
+		b.Run(sel.String(), func(b *testing.B) {
+			rng := stats.NewRNG(2)
+			for i := 0; i < b.N; i++ {
+				pat := query.RandomPattern(rng, locs, 3)
+				if _, err := eng.Trajectory(pat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSampleAndViterbi measures trajectory extraction primitives.
+func BenchmarkSampleAndViterbi(b *testing.B) {
+	d, _ := benchDatasets(b)
+	g := buildFor(b, d, benchInstance(b, d, 300), dataset.SelDULT)
+	b.Run("Sample", func(b *testing.B) {
+		rng := stats.NewRNG(3)
+		for i := 0; i < b.N; i++ {
+			if g.Sample(rng) == nil {
+				b.Fatal("sample failed")
+			}
+		}
+	})
+	b.Run("Viterbi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if locs, _ := g.MostProbable(); locs == nil {
+				b.Fatal("viterbi failed")
+			}
+		}
+	})
+	b.Run("Marginals", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Marginals(d.Plan.NumLocations())
+		}
+	})
+}
+
+// BenchmarkPriorDist measures p*(l|R) evaluation with a cold cache: a fresh
+// model each iteration, so the cell-sum formula itself is timed.
+func BenchmarkPriorDist(b *testing.B) {
+	d, _ := benchDatasets(b)
+	inst := benchInstance(b, d, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := prior.New(d.Learned, prior.Options{})
+		m.Dist(inst.Readings[i%len(inst.Readings)].Readers)
+	}
+}
+
+// --- Figure-level benchmarks (one per table/figure) -----------------------
+
+// BenchmarkFig8aCleaningTimeSYN1 regenerates Fig. 8(a): average cleaning
+// time vs duration on SYN1 for CTG(DU), CTG(DU+LT), CTG(DU+LT+TT).
+func BenchmarkFig8aCleaningTimeSYN1(b *testing.B) {
+	d, _ := benchDatasets(b)
+	benchCleaning(b, d)
+}
+
+// BenchmarkFig8bCleaningTimeSYN2 regenerates Fig. 8(b) on SYN2.
+func BenchmarkFig8bCleaningTimeSYN2(b *testing.B) {
+	_, d := benchDatasets(b)
+	benchCleaning(b, d)
+}
+
+func benchCleaning(b *testing.B, d *dataset.Dataset) {
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.CleaningCost(d, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.MeanSeconds,
+					fmt.Sprintf("s/CTG(%s)@%d", r.Selection, r.Duration))
+			}
+		}
+	}
+}
+
+// BenchmarkFig8cQueryTime regenerates Fig. 8(c): average query time vs
+// duration on both datasets.
+func BenchmarkFig8cQueryTime(b *testing.B) {
+	d1, d2 := benchDatasets(b)
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		for _, d := range []*dataset.Dataset{d1, d2} {
+			results, err := experiment.QueryCost(d, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				for _, r := range results {
+					if r.Duration == p.Durations[len(p.Durations)-1] {
+						b.ReportMetric(r.MeanStaySeconds, fmt.Sprintf("s/stay-%s-%s", d.Name, r.Selection))
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9aStayAccuracy regenerates Fig. 9(a): average stay-query
+// accuracy per dataset and constraint set (plus the prior baseline).
+func BenchmarkFig9aStayAccuracy(b *testing.B) {
+	benchAccuracy(b, func(b *testing.B, r experiment.AccuracyResult) {
+		b.ReportMetric(r.Stay, fmt.Sprintf("acc/%s-%s", r.Dataset, r.Selection))
+		b.ReportMetric(r.PriorStay, fmt.Sprintf("acc/%s-prior", r.Dataset))
+	})
+}
+
+// BenchmarkFig9bTrajectoryAccuracy regenerates Fig. 9(b): average
+// trajectory-query accuracy per dataset and constraint set.
+func BenchmarkFig9bTrajectoryAccuracy(b *testing.B) {
+	benchAccuracy(b, func(b *testing.B, r experiment.AccuracyResult) {
+		b.ReportMetric(r.Traj, fmt.Sprintf("acc/%s-%s", r.Dataset, r.Selection))
+	})
+}
+
+func benchAccuracy(b *testing.B, report func(*testing.B, experiment.AccuracyResult)) {
+	d1, d2 := benchDatasets(b)
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		for _, d := range []*dataset.Dataset{d1, d2} {
+			results, err := experiment.Accuracy(d, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				for _, r := range results {
+					report(b, r)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9cAccuracyVsQueryLength regenerates Fig. 9(c): trajectory
+// query accuracy vs the number of anchors, on SYN2.
+func BenchmarkFig9cAccuracyVsQueryLength(b *testing.B) {
+	_, d2 := benchDatasets(b)
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		_, byLen, err := experiment.AccuracyWithLengths(d2, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range byLen {
+				if r.Selection == dataset.SelDULTTT {
+					b.ReportMetric(r.Traj, fmt.Sprintf("acc/anchors-%d", r.Anchors))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGraphSize regenerates the §6.7 size comparison: ct-graph memory
+// at the longest duration under DU vs DU+LT+TT.
+func BenchmarkGraphSize(b *testing.B) {
+	d, _ := benchDatasets(b)
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.CleaningCost(d, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			maxDur := p.Durations[len(p.Durations)-1]
+			for _, r := range results {
+				if r.Duration == maxDur {
+					b.ReportMetric(r.MeanBytes/1e6, fmt.Sprintf("MB/%s", r.Selection))
+				}
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks --------------------------------------------------
+
+// BenchmarkAblationPriorFormula compares the paper's p*(l|R) formula against
+// the full detection likelihood (A1).
+func BenchmarkAblationPriorFormula(b *testing.B) {
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.PriorFormulaAblation(dataset.SYN1(), "SYN1", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Stay, fmt.Sprintf("acc/%s", r.Formula))
+				b.ReportMetric(r.Cands, fmt.Sprintf("cands/%s", r.Formula))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEndLatency compares strict (Definition 2) and lenient
+// (Algorithm 1) end-of-window semantics (A2).
+func BenchmarkAblationEndLatency(b *testing.B) {
+	d, _ := benchDatasets(b)
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.EndLatencyAblation(d, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.MeanNodes, fmt.Sprintf("nodes/%s", r.Mode))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMinProb compares exact candidate sets against ε-pruned
+// ones (A3).
+func BenchmarkAblationMinProb(b *testing.B) {
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.MinProbAblation(dataset.SYN1(), "SYN1", p, []float64{0, 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.MeanNodes, fmt.Sprintf("nodes/min%.2g", r.MinProb))
+				b.ReportMetric(r.Stay, fmt.Sprintf("acc/min%.2g", r.MinProb))
+			}
+		}
+	}
+}
+
+// BenchmarkBaselineComparison measures the cleaning methods side by side:
+// raw prior, the SMURF-style smoothing baseline, and conditioning.
+func BenchmarkBaselineComparison(b *testing.B) {
+	d, _ := benchDatasets(b)
+	p := experiment.Quick()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.BaselineComparison(d, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				// Metric units must not contain whitespace.
+				unit := strings.ReplaceAll(r.Method, " ", "")
+				b.ReportMetric(r.Stay, "acc/"+unit)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMapSize measures §6.5's map-size effect with uncapped TT
+// horizons (A5).
+func BenchmarkAblationMapSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.MapSizeAblation(120, 1, []int{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.MeanSeconds, "s/"+r.Dataset)
+			}
+		}
+	}
+}
+
+// BenchmarkOracleVsCTGraph measures the naive enumeration baseline against
+// Algorithm 1 on short windows (A4 — the introduction's blow-up argument).
+func BenchmarkOracleVsCTGraph(b *testing.B) {
+	d, _ := benchDatasets(b)
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.OracleVsCTGraph(d, []int{8, 10, 12}, 2, 1<<22, constraints.LenientEnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.OracleSeconds, fmt.Sprintf("s/oracle@%d", r.Duration))
+				b.ReportMetric(r.GraphSeconds, fmt.Sprintf("s/ctg@%d", r.Duration))
+			}
+		}
+	}
+}

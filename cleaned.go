@@ -1,0 +1,167 @@
+package rfidclean
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/query"
+)
+
+// Cleaned is the result of cleaning one reading sequence: the conditioned
+// trajectory graph plus a query engine over it. All probabilities it reports
+// are conditioned on the integrity constraints holding.
+type Cleaned struct {
+	graph  *core.Graph
+	plan   *floorplan.Plan
+	engine *query.Engine
+}
+
+func newCleaned(g *core.Graph, plan *floorplan.Plan) *Cleaned {
+	return &Cleaned{
+		graph:  g,
+		plan:   plan,
+		engine: query.NewEngine(g, plan.NumLocations()),
+	}
+}
+
+// Graph exposes the underlying conditioned trajectory graph.
+func (c *Cleaned) Graph() *CTGraph { return c.graph }
+
+// Duration returns the number of timestamps covered.
+func (c *Cleaned) Duration() int { return c.graph.Duration() }
+
+// StayDistribution answers a stay query: the conditioned distribution over
+// location IDs at time tau.
+func (c *Cleaned) StayDistribution(tau int) ([]float64, error) {
+	return c.engine.Stay(tau)
+}
+
+// MostLikelyAt returns the most probable location at time tau and its
+// probability.
+func (c *Cleaned) MostLikelyAt(tau int) (Location, float64, error) {
+	dist, err := c.engine.Stay(tau)
+	if err != nil {
+		return Location{}, 0, err
+	}
+	best, bestP := 0, -1.0
+	for loc, p := range dist {
+		if p > bestP {
+			best, bestP = loc, p
+		}
+	}
+	return c.plan.Location(best), bestP, nil
+}
+
+// MatchProbability answers a trajectory query: the probability that the
+// object's trajectory matches the pattern.
+func (c *Cleaned) MatchProbability(p Pattern) (float64, error) {
+	return c.engine.Trajectory(p)
+}
+
+// Match parses a pattern against the plan's location names and evaluates it.
+func (c *Cleaned) Match(pattern string) (float64, error) {
+	p, err := query.ParsePattern(pattern, func(name string) (int, error) {
+		l, ok := c.plan.LocationByName(name)
+		if !ok {
+			return 0, errUnknownLocation(name)
+		}
+		return l.ID, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return c.engine.Trajectory(p)
+}
+
+// EverIn returns the probability that the object was at the named location
+// at some timestamp in [from, to] (inclusive).
+func (c *Cleaned) EverIn(location string, from, to int) (float64, error) {
+	l, ok := c.plan.LocationByName(location)
+	if !ok {
+		return 0, errUnknownLocation(location)
+	}
+	return c.engine.EverIn(l.ID, from, to)
+}
+
+// ExpectedVisitTime returns the expected number of timestamps the object
+// spent at the named location within [from, to].
+func (c *Cleaned) ExpectedVisitTime(location string, from, to int) (float64, error) {
+	l, ok := c.plan.LocationByName(location)
+	if !ok {
+		return 0, errUnknownLocation(location)
+	}
+	return c.engine.ExpectedVisitTime(l.ID, from, to)
+}
+
+// Marginals returns the conditioned per-timestamp distribution over
+// locations: out[τ][locID].
+func (c *Cleaned) Marginals() [][]float64 {
+	return c.graph.Marginals(c.plan.NumLocations())
+}
+
+// MostProbable returns the single most probable valid trajectory (one
+// location ID per timestamp) and its conditioned probability.
+func (c *Cleaned) MostProbable() ([]int, float64) {
+	return c.graph.MostProbable()
+}
+
+// Sample draws a valid trajectory from the conditioned distribution.
+func (c *Cleaned) Sample(rng *RNG) []int {
+	return c.graph.Sample(rng)
+}
+
+// TopK returns the up-to-k most probable valid trajectories with their
+// conditioned probabilities, descending.
+func (c *Cleaned) TopK(k int) ([][]int, []float64) {
+	return c.graph.TopK(k)
+}
+
+// ExpectedOccupancy returns, per location ID, the expected number of
+// timestamps the object spent there under the conditioned distribution
+// (the values sum to the window duration).
+func (c *Cleaned) ExpectedOccupancy() []float64 {
+	out := make([]float64, c.plan.NumLocations())
+	for _, row := range c.Marginals() {
+		for loc, p := range row {
+			out[loc] += p
+		}
+	}
+	return out
+}
+
+// Encode writes the conditioned trajectory graph as JSON; reload it with
+// DecodeCTGraph.
+func (c *Cleaned) Encode(w io.Writer) error { return c.graph.Encode(w) }
+
+// Event is a maximal run of timestamps sharing the same most probable
+// location — the cleaned data segmented into human-readable stays.
+type Event = query.Event
+
+// Events segments the window into location runs with confidences.
+func (c *Cleaned) Events() []Event { return c.engine.Events() }
+
+// TransitionMatrix returns the expected number of transitions between every
+// ordered pair of location IDs under the conditioned distribution (diagonal
+// entries count stays).
+func (c *Cleaned) TransitionMatrix() [][]float64 { return c.engine.TransitionMatrix() }
+
+// Stats reports the size of the conditioned trajectory graph.
+func (c *Cleaned) Stats() GraphStats { return c.graph.Stats() }
+
+// GraphStats summarizes a ct-graph's size.
+type GraphStats = core.Stats
+
+// LocationName renders a location ID using the plan.
+func (c *Cleaned) LocationName(id int) string {
+	if id < 0 || id >= c.plan.NumLocations() {
+		return "?"
+	}
+	return c.plan.Location(id).Name
+}
+
+type errUnknownLocation string
+
+func (e errUnknownLocation) Error() string {
+	return "rfidclean: unknown location \"" + string(e) + "\""
+}

@@ -1,0 +1,185 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§6) plus the ablation studies documented in DESIGN.md,
+// printing text tables with the same series the paper plots.
+//
+// Usage:
+//
+//	experiments -scale quick            # all figures, bench-sized workloads
+//	experiments -scale full -fig 8a     # the paper's workload for Fig. 8(a)
+//	experiments -fig ablation           # ablations A1-A4
+//
+// Scales: quick (seconds), medium (minutes), full (the paper's §6.1 scale —
+// hours). Shapes (linearity, orderings, accuracy trends) are preserved at
+// every scale; absolute numbers grow with the workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/constraints"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		scale    = flag.String("scale", "quick", "workload scale: quick, medium or full")
+		fig      = flag.String("fig", "all", "figure to regenerate: all, 8a, 8b, 8c, 9a, 9b, 9c, size, baseline, ablation")
+		datasets = flag.String("datasets", "SYN1,SYN2", "comma-separated datasets")
+	)
+	flag.Parse()
+
+	var params experiment.Params
+	switch *scale {
+	case "quick":
+		params = experiment.Quick()
+	case "medium":
+		params = experiment.Medium()
+	case "full":
+		params = experiment.Full()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	names := strings.Split(*datasets, ",")
+	built := make(map[string]*dataset.Dataset)
+	get := func(name string) *dataset.Dataset {
+		if d, ok := built[name]; ok {
+			return d
+		}
+		cfg, err := dataset.ConfigByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		d, err := dataset.Build(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "built %s in %v (%d locations, %d readers, %d cells)\n",
+			name, time.Since(start).Round(time.Millisecond), d.Plan.NumLocations(), len(d.Readers), d.Cells.NumCells())
+		built[name] = d
+		return d
+	}
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+
+	// Fig. 8(a)/(b) and §6.7 sizes share the cleaning-cost measurements.
+	if want("8a") || want("8b") || want("size") {
+		var all []experiment.CleaningResult
+		for _, name := range names {
+			if name == "SYN2" && !want("8b") && !want("size") && *fig != "all" {
+				continue
+			}
+			results, err := experiment.CleaningCost(get(name), params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			all = append(all, results...)
+		}
+		if want("8a") || want("8b") {
+			render(experiment.CleaningTable(all))
+		}
+		if want("size") {
+			render(experiment.GraphSizeTable(all))
+		}
+	}
+
+	if want("8c") {
+		var all []experiment.QueryCostResult
+		for _, name := range names {
+			results, err := experiment.QueryCost(get(name), params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			all = append(all, results...)
+		}
+		render(experiment.QueryCostTable(all))
+	}
+
+	if want("9a") || want("9b") || want("9c") {
+		var overall []experiment.AccuracyResult
+		var byLen []experiment.AccuracyByLength
+		for _, name := range names {
+			o, l, err := experiment.AccuracyWithLengths(get(name), params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			overall = append(overall, o...)
+			byLen = append(byLen, l...)
+		}
+		if want("9a") || want("9b") {
+			render(experiment.AccuracyTable(overall))
+		}
+		if want("9c") {
+			// The paper reports Fig. 9(c) on SYN2; print every dataset
+			// that was measured.
+			render(experiment.AccuracyByLengthTable(byLen))
+		}
+	}
+
+	if want("baseline") {
+		for _, name := range names {
+			results, err := experiment.BaselineComparison(get(name), params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			render(experiment.BaselineTable(results))
+		}
+	}
+
+	if want("ablation") {
+		cfg, err := dataset.ConfigByName(names[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		a1, err := experiment.PriorFormulaAblation(cfg, names[0], params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(experiment.PriorAblationTable(a1))
+
+		a2, err := experiment.EndLatencyAblation(get(names[0]), params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(experiment.EndLatencyAblationTable(a2))
+
+		a3, err := experiment.MinProbAblation(cfg, names[0], params, []float64{0, 0.01, 0.05})
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(experiment.MinProbAblationTable(a3))
+
+		a4, err := experiment.OracleVsCTGraph(get(names[0]), []int{8, 10, 12, 14}, 3, 1<<22, constraints.LenientEnd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(experiment.OracleAblationTable(a4))
+
+		// A5 runs with uncapped TT horizons, which is expensive; scale
+		// the duration with the requested workload.
+		a5dur := 300
+		if *scale == "quick" {
+			a5dur = 120
+		}
+		a5, err := experiment.MapSizeAblation(a5dur, 2, []int{0, 15})
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(experiment.MapSizeTable(a5))
+	}
+}
+
+func render(t *experiment.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

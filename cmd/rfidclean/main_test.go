@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func helperDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.SYN1()
+	cfg.Floors = 1
+	d, err := dataset.Build("TINY", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	if got := splitNonEmpty(""); got != nil {
+		t.Errorf("empty split = %v", got)
+	}
+	got := splitNonEmpty("1,2,3")
+	if len(got) != 3 || got[1] != "2" {
+		t.Errorf("split = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := normalize([]float64{1, 3})
+	if out[0] != 0.25 || out[1] != 0.75 {
+		t.Errorf("normalize = %v", out)
+	}
+	zeros := normalize([]float64{0, 0})
+	if zeros[0] != 0 || zeros[1] != 0 {
+		t.Errorf("zero normalize = %v", zeros)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	d := helperDataset(t)
+	dist := make([]float64, d.Plan.NumLocations())
+	dist[0], dist[1], dist[2] = 0.2, 0.5, 0.3
+	s := topK(dist, d, 2)
+	parts := strings.Split(s, ", ")
+	if len(parts) != 2 {
+		t.Fatalf("topK = %q", s)
+	}
+	if !strings.Contains(parts[0], "0.500") {
+		t.Errorf("topK not sorted: %q", s)
+	}
+	if !strings.Contains(parts[0], d.Plan.Location(1).Name) {
+		t.Errorf("topK missing location name: %q", s)
+	}
+}
+
+func TestRuns(t *testing.T) {
+	d := helperDataset(t)
+	s := runs([]int{0, 0, 1, 1, 1, 0}, d)
+	want := []string{
+		d.Plan.Location(0).Name + " x2",
+		d.Plan.Location(1).Name + " x3",
+		d.Plan.Location(0).Name + " x1",
+	}
+	if s != strings.Join(want, " -> ") {
+		t.Errorf("runs = %q", s)
+	}
+}

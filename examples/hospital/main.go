@@ -1,0 +1,148 @@
+// Command hospital demonstrates the downstream primitives the ct-graph
+// enables beyond marginal queries: Viterbi decoding (the single best
+// explanation of the readings) and weighted sampling of valid trajectories
+// (the §7 future-work item), here used for Monte-Carlo utilization analysis
+// of a tracked asset (a wheelchair) across two hospital floors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	rfidclean "repro"
+)
+
+func main() {
+	plan, readers := buildHospital()
+	sys, err := rfidclean.NewSystem(plan, readers, rfidclean.DefaultThreeState(), 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.CalibratePrior(30, rfidclean.NewRNG(11))
+	// Porters push wheelchairs at up to 1.8 m/s; cap TT horizons at 20 s
+	// to keep the graph small across the two floors.
+	ic, err := sys.InferConstraints(1.8, 5, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rfidclean.NewRNG(31)
+	cfg := rfidclean.NewGeneratorConfig(480)
+	cfg.MaxSpeed = 1.8
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, cfg, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	readings := rfidclean.GenerateReadings(truth, sys.Truth, rng)
+
+	cleaned, err := sys.Clean(readings, ic, &rfidclean.BuildOptions{EndLatency: rfidclean.LenientEnd})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Viterbi: the single most probable history of the asset.
+	best, p := cleaned.MostProbable()
+	fmt.Printf("most probable history (p=%.3g): ", p)
+	printRuns(cleaned, best)
+
+	// 2. Monte-Carlo utilization: sample valid trajectories and estimate
+	// the fraction of time spent per ward. Because every sample comes
+	// from the conditioned distribution, no sample is ever rejected.
+	const samples = 2000
+	seconds := make([]float64, sys.Plan.NumLocations())
+	for s := 0; s < samples; s++ {
+		for _, loc := range cleaned.Sample(rng) {
+			seconds[loc]++
+		}
+	}
+	type row struct {
+		name string
+		frac float64
+	}
+	var rows []row
+	total := float64(samples * cleaned.Duration())
+	for id, sec := range seconds {
+		if sec > 0 {
+			rows = append(rows, row{plan.Location(id).Name, sec / total})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].frac > rows[j].frac })
+	fmt.Println("\nestimated utilization (Monte-Carlo over the conditioned distribution):")
+	for _, r := range rows {
+		if r.frac < 0.01 {
+			continue
+		}
+		fmt.Printf("  %-12s %5.1f%%\n", r.name, 100*r.frac)
+	}
+
+	// Ground truth for comparison.
+	fmt.Println("\nground truth:")
+	truthSec := map[string]int{}
+	for _, pt := range truth.Points {
+		truthSec[plan.Location(pt.Loc).Name]++
+	}
+	var names []string
+	for n := range truthSec {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return truthSec[names[i]] > truthSec[names[j]] })
+	for _, n := range names {
+		fmt.Printf("  %-12s %5.1f%%\n", n, 100*float64(truthSec[n])/float64(truth.Duration()))
+	}
+}
+
+// printRuns renders a trajectory as location runs ("ward-a x120 -> ...").
+func printRuns(c interface{ LocationName(int) string }, locs []int) {
+	start := 0
+	for i := 1; i <= len(locs); i++ {
+		if i == len(locs) || locs[i] != locs[start] {
+			fmt.Printf("%s x%d", c.LocationName(locs[start]), i-start)
+			if i < len(locs) {
+				fmt.Print(" -> ")
+			}
+			start = i
+		}
+	}
+	fmt.Println()
+}
+
+// buildHospital lays out two floors: wards along a corridor, a stairwell
+// linking them.
+func buildHospital() (*rfidclean.Plan, []rfidclean.Reader) {
+	b := rfidclean.NewMapBuilder()
+	var readers []rfidclean.Reader
+	id := 0
+	addReader := func(name string, floor int, p rfidclean.Point) {
+		readers = append(readers, rfidclean.Reader{ID: id, Name: name, Floor: floor, Pos: p})
+		id++
+	}
+	prevStairs := -1
+	wardNames := [][]string{
+		{"ward-a", "ward-b", "radiology"},
+		{"ward-c", "ward-d", "surgery"},
+	}
+	for f := 0; f < 2; f++ {
+		cor := b.AddLocation(fmt.Sprintf("corridor-%d", f), rfidclean.Corridor, f, rfidclean.RectWH(0, 0, 18, 3))
+		for i, name := range wardNames[f] {
+			x := float64(i * 5)
+			room := b.AddLocation(name, rfidclean.Room, f, rfidclean.RectWH(x, 3, 5, 5))
+			b.AddDoor(cor, room, rfidclean.Pt(x+2.5, 3), 1.4)
+			addReader("r-"+name, f, rfidclean.Pt(x+2.5, 5.5))
+		}
+		st := b.AddLocation(fmt.Sprintf("stairs-%d", f), rfidclean.Stairwell, f, rfidclean.RectWH(15, 3, 3, 5))
+		b.AddDoor(cor, st, rfidclean.Pt(16.5, 3), 1.2)
+		addReader(fmt.Sprintf("r-stairs-%d", f), f, rfidclean.Pt(16.5, 5.5))
+		addReader(fmt.Sprintf("r-cor-%d-w", f), f, rfidclean.Pt(4, 1.5))
+		addReader(fmt.Sprintf("r-cor-%d-e", f), f, rfidclean.Pt(13, 1.5))
+		if prevStairs >= 0 {
+			b.AddStairs(prevStairs, st, rfidclean.Pt(16.5, 6.5), rfidclean.Pt(16.5, 6.5), 6)
+		}
+		prevStairs = st
+	}
+	plan, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return plan, readers
+}

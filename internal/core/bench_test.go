@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constraints"
+	"repro/internal/stats"
+)
+
+// benchScenario builds a fixed mid-size l-sequence and constraint set.
+func benchScenario() (*LSequence, *constraints.Set) {
+	rng := stats.NewRNG(99)
+	const duration = 200
+	const numLocs = 8
+	dists := make([][]float64, duration)
+	for t := range dists {
+		row := make([]float64, numLocs)
+		total := 0.0
+		k := rng.IntRange(2, 4)
+		for i := 0; i < k; i++ {
+			row[rng.Intn(numLocs)] += rng.Range(0.1, 1)
+		}
+		// Location 0 is always possible, keeping the scenario consistent
+		// (staying at 0 forever satisfies every constraint below).
+		row[0] += 0.2
+		for _, v := range row {
+			total += v
+		}
+		if total == 0 {
+			row[0], total = 1, 1
+		}
+		for i := range row {
+			row[i] /= total
+		}
+		dists[t] = row
+	}
+	ls := FromDistributions(dists)
+	ic := constraints.NewSet()
+	for i := 0; i < numLocs; i++ {
+		for j := 0; j < numLocs; j++ {
+			if i != j && (i+j)%3 == 0 {
+				ic.AddDU(i, j)
+			}
+		}
+	}
+	ic.AddLT(1, 3)
+	ic.AddLT(2, 2)
+	_ = ic.AddTT(0, 4, 5)
+	_ = ic.AddTT(3, 7, 4)
+	return ls, ic
+}
+
+// BenchmarkAlgorithm1 measures the full forward+backward construction.
+func BenchmarkAlgorithm1(b *testing.B) {
+	ls, ic := benchScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ls, ic, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardBackward measures the alpha/beta passes used by queries.
+func BenchmarkForwardBackward(b *testing.B) {
+	ls, ic := benchScenario()
+	g, err := Build(ls, ic, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Forward()
+		g.Backward()
+	}
+}
+
+// BenchmarkFilterObserve measures one streaming observation step.
+func BenchmarkFilterObserve(b *testing.B) {
+	ls, ic := benchScenario()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFilter(ic, nil)
+		for _, step := range ls.Steps {
+			if err := f.Observe(step.Candidates); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTopK measures k-best decoding.
+func BenchmarkTopK(b *testing.B) {
+	ls, ic := benchScenario()
+	g, err := Build(ls, ic, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trajs, _ := g.TopK(5); len(trajs) == 0 {
+			b.Fatal("no trajectories")
+		}
+	}
+}
+
+// BenchmarkEncodeDecode measures graph serialization round trips.
+func BenchmarkEncodeDecode(b *testing.B) {
+	ls, ic := benchScenario()
+	g, err := Build(ls, ic, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discardCounter
+		if err := g.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discardCounter is an io.Writer that counts bytes.
+type discardCounter int
+
+func (d *discardCounter) Write(p []byte) (int, error) {
+	*d += discardCounter(len(p))
+	return len(p), nil
+}

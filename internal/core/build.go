@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/constraints"
+)
+
+// ErrNoValidTrajectory is returned by Build when the constraints rule out
+// every trajectory compatible with the readings: the conditioning event has
+// probability zero and the conditioned distribution is undefined.
+var ErrNoValidTrajectory = errors.New("core: no trajectory satisfies the integrity constraints")
+
+// Options configures Build. The zero value is ready to use.
+type Options struct {
+	// EndLatency selects how latency constraints treat stays truncated by
+	// the end of the window. The default, constraints.StrictEnd, follows
+	// Definition 2; constraints.LenientEnd follows Algorithm 1 as printed
+	// (see DESIGN.md §3).
+	EndLatency constraints.EndLatencyMode
+}
+
+func (o *Options) endLatency() constraints.EndLatencyMode {
+	if o == nil {
+		return constraints.StrictEnd
+	}
+	return o.EndLatency
+}
+
+// Build runs Algorithm 1: it constructs the conditioned trajectory graph of
+// the l-sequence under the integrity constraints.
+//
+// The forward phase (lines 5-14 of the paper) grows the graph timestamp by
+// timestamp, materializing only successors permitted by Definition 3 and
+// labeling edges with the a-priori step probabilities.
+//
+// The backward phase implements the same revision as the paper's
+// loss-propagation queue (lines 15-31) in its closed form: for every node,
+// the "survival" S(n) — the fraction of the a-priori probability mass of the
+// trajectories compatible with n that is valid, i.e. 1 − n.loss in the
+// paper's bookkeeping — satisfies
+//
+//	S(target) = 1 (0 for targets condemned by strict end-of-window latency)
+//	S(n)      = Σ_{(n,m) ∈ E} p_E(n,m) · S(m)
+//
+// and the conditioned probabilities are p'_E(n,m) = p_E(n,m)·S(m)/S(n) and
+// p'_N(src) = p_N(src)·S(src) / Σ p_N·S. The paper's queue evaluates exactly
+// this recurrence incrementally; evaluating it level by level visits the
+// same nodes and lets us rescale each timestamp's survivals by their
+// maximum, which keeps 1−loss well above the float64 underflow threshold on
+// hours-long windows (survivals can legitimately shrink geometrically with
+// the window length; the conditioned probabilities only ever depend on
+// survival ratios within a timestamp, which rescaling preserves).
+//
+// Build returns ErrNoValidTrajectory when the constraints exclude every
+// interpretation of the readings.
+func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
+	if err := ls.Validate(); err != nil {
+		return nil, err
+	}
+	if ic == nil {
+		ic = constraints.NewSet()
+	}
+	duration := ls.Duration()
+	b := &builder{ic: ic}
+	g := &Graph{byTime: make([][]*Node, duration)}
+
+	// Initialization (lines 1-4): source nodes, one per candidate at τ=0,
+	// with p_N set from the a-priori probabilities.
+	for _, c := range ls.Steps[0].Candidates {
+		n := &Node{Time: 0, Loc: c.Loc, Stay: b.initialStay(c.Loc), prob: c.P}
+		g.byTime[0] = append(g.byTime[0], n)
+	}
+
+	// Forward phase (lines 5-14).
+	for t := 0; t+1 < duration; t++ {
+		next := make(map[string]*Node)
+		for _, n := range g.byTime[t] {
+			for _, c := range ls.Steps[t+1].Candidates {
+				succ, ok := b.successor(n, c.Loc)
+				if !ok {
+					continue
+				}
+				key := succ.key()
+				existing, seen := next[key]
+				if !seen {
+					existing = succ
+					next[key] = succ
+					g.byTime[t+1] = append(g.byTime[t+1], succ)
+				}
+				e := &Edge{From: n, To: existing, P: c.P}
+				n.out = append(n.out, e)
+				existing.in = append(existing.in, e)
+			}
+		}
+		if len(g.byTime[t+1]) == 0 {
+			return nil, fmt.Errorf("%w (dead end at timestamp %d)", ErrNoValidTrajectory, t+1)
+		}
+	}
+
+	// Backward phase (lines 15-31 in closed form; see above).
+	// Target survivals: 1, except targets condemned by strict
+	// end-of-window latency semantics (Definition 2).
+	strict := opts.endLatency() == constraints.StrictEnd
+	for _, n := range g.byTime[duration-1] {
+		if strict && n.Stay != StayUntracked {
+			n.surv = 0
+			n.removed = true
+		} else {
+			n.surv = 1
+		}
+	}
+	g.detachRemoved(duration - 1)
+
+	for t := duration - 2; t >= 0; t-- {
+		maxS := 0.0
+		for _, n := range g.byTime[t] {
+			// Drop edges into removed nodes, accumulate survival,
+			// and store the unconditioned weight on each edge.
+			alive := n.out[:0]
+			s := 0.0
+			for _, e := range n.out {
+				if e.To.removed {
+					continue
+				}
+				e.P *= e.To.surv
+				s += e.P
+				alive = append(alive, e)
+			}
+			n.out = alive
+			n.surv = s
+			if s > maxS {
+				maxS = s
+			}
+			if s == 0 {
+				n.removed = true // Proposition 1: no successor => invalid
+				continue
+			}
+			// Condition the outgoing edges (lines 17-19): each is
+			// divided by the surviving fraction.
+			for _, e := range n.out {
+				e.P /= s
+			}
+		}
+		if maxS == 0 {
+			return nil, ErrNoValidTrajectory
+		}
+		// Rescale this level's survivals so the recurrence never
+		// underflows; conditioned probabilities depend only on
+		// within-level ratios, which this preserves.
+		for _, n := range g.byTime[t] {
+			n.surv /= maxS
+		}
+		g.detachRemoved(t)
+	}
+
+	// Condition the source probabilities (lines 30-31).
+	total := 0.0
+	for _, src := range g.byTime[0] {
+		src.prob *= src.surv
+		total += src.prob
+	}
+	if total <= 0 {
+		return nil, ErrNoValidTrajectory
+	}
+	for _, src := range g.byTime[0] {
+		src.prob /= total
+	}
+	g.compact()
+	return g, nil
+}
+
+// detachRemoved unlinks the in-edges of removed nodes at timestamp t from
+// their predecessors' adjacency lists (lines 26-29 of the paper).
+func (g *Graph) detachRemoved(t int) {
+	for _, n := range g.byTime[t] {
+		if !n.removed {
+			continue
+		}
+		for _, e := range n.in {
+			removeOutEdge(e.From, e)
+		}
+		n.in = nil
+		n.out = nil
+	}
+}
+
+// compact drops removed nodes from the per-timestamp lists.
+func (g *Graph) compact() {
+	for t := range g.byTime {
+		alive := g.byTime[t][:0]
+		for _, n := range g.byTime[t] {
+			if !n.removed {
+				alive = append(alive, n)
+			}
+		}
+		g.byTime[t] = alive
+	}
+}
+
+// builder holds the constraint set while computing successors.
+type builder struct {
+	ic *constraints.Set
+}
+
+// initialStay returns the stay counter of a node entering loc (or starting
+// the window there): 1 when a latency constraint is pending, ⊥ otherwise.
+func (b *builder) initialStay(loc int) int {
+	if delta, ok := b.ic.Latency(loc); ok && delta > 1 {
+		return 1
+	}
+	return StayUntracked
+}
+
+// successor computes the unique successor node of n at location loc per
+// Definition 3, or ok=false when no such successor exists (some constraint
+// would be violated).
+func (b *builder) successor(n *Node, loc int) (*Node, bool) {
+	t2 := n.Time + 1
+	// Condition 2: direct reachability.
+	if b.ic.Unreachable(n.Loc, loc) {
+		return nil, false
+	}
+	if loc == n.Loc {
+		// Condition 3: staying increments a pending stay counter.
+		stay := n.Stay
+		if stay != StayUntracked {
+			stay++
+			if delta, _ := b.ic.Latency(loc); stay >= delta {
+				stay = StayUntracked // constraint satisfied: normalize to ⊥
+			}
+		}
+		return &Node{Time: t2, Loc: loc, Stay: stay, TL: b.expireTL(n.TL, t2, -1)}, true
+	}
+	// Condition 4: leaving is allowed only once any latency constraint on
+	// the current location is satisfied (pending counter normalized away).
+	if n.Stay != StayUntracked {
+		return nil, false
+	}
+	// Condition 5 (extended to cover the direct move, see DESIGN.md §3):
+	// no TT constraint into loc may still bind, neither from a recently
+	// left location in TL nor from the location being left right now.
+	if nu, ok := b.ic.TT(n.Loc, loc); ok && t2-n.Time < nu {
+		return nil, false
+	}
+	for _, e := range n.TL {
+		if nu, ok := b.ic.TT(e.Loc, loc); ok && t2-e.Time < nu {
+			return nil, false
+		}
+	}
+	// Condition 6: extend TL with the location being left (when it is the
+	// source of some TT constraint), expire stale entries, and drop any
+	// entry for the location being entered.
+	tl := b.expireTL(n.TL, t2, loc)
+	if b.ic.HasTTFrom(n.Loc) && t2-n.Time < b.ic.MaxTravelingTime(n.Loc) {
+		tl = append(tl, TLEntry{Time: n.Time, Loc: n.Loc})
+		sortTL(tl)
+	}
+	return &Node{Time: t2, Loc: loc, Stay: b.initialStay(loc), TL: tl}, true
+}
+
+// expireTL copies the entries of tl that can still influence a TT check at
+// time t2, skipping any entry for location drop (-1 to keep all locations).
+func (b *builder) expireTL(tl []TLEntry, t2 int, drop int) []TLEntry {
+	var out []TLEntry
+	for _, e := range tl {
+		if e.Loc == drop {
+			continue
+		}
+		if t2-e.Time >= b.ic.MaxTravelingTime(e.Loc) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// removeOutEdge removes e from pred's outgoing edge list.
+func removeOutEdge(pred *Node, e *Edge) {
+	for i, cand := range pred.out {
+		if cand == e {
+			pred.out[i] = pred.out[len(pred.out)-1]
+			pred.out = pred.out[:len(pred.out)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraints"
+)
+
+// Filter is the online (streaming) counterpart of Build: it consumes one
+// timestamp of candidate locations at a time and maintains the *filtered*
+// distribution — the conditioned distribution of the object's current
+// location given the readings and constraints observed so far. This extends
+// the paper toward the streaming setting its §7 alludes to: the frontier it
+// maintains is exactly the set of location nodes Algorithm 1's forward phase
+// would have alive at the current timestamp, with their (normalized) forward
+// probability mass.
+//
+// At the final timestamp the filtered distribution coincides with the
+// smoothed marginal of the full ct-graph built under LenientEnd semantics;
+// at earlier timestamps it conditions only on the past, which is the best an
+// online cleaner can do.
+//
+// An optional beam width bounds the frontier for long, highly ambiguous
+// streams by keeping only the most probable nodes — an approximation that
+// trades exactness for a hard memory bound.
+type Filter struct {
+	ic   *constraints.Set
+	b    builder
+	beam int
+
+	time     int
+	frontier []*filterEntry
+}
+
+type filterEntry struct {
+	node  *Node // identity fields only; no edges
+	alpha float64
+}
+
+// FilterOptions configures a Filter.
+type FilterOptions struct {
+	// Beam, when positive, caps the number of frontier nodes kept after
+	// each observation (highest forward probability first). Zero keeps
+	// every node (exact filtering).
+	Beam int
+}
+
+// NewFilter returns a streaming cleaner over the given constraints.
+func NewFilter(ic *constraints.Set, opts *FilterOptions) *Filter {
+	if ic == nil {
+		ic = constraints.NewSet()
+	}
+	f := &Filter{ic: ic, b: builder{ic: ic}, time: -1}
+	if opts != nil && opts.Beam > 0 {
+		f.beam = opts.Beam
+	}
+	return f
+}
+
+// Time returns the timestamp of the last observation (-1 before the first).
+func (f *Filter) Time() int { return f.time }
+
+// FrontierSize returns the number of alive location nodes.
+func (f *Filter) FrontierSize() int { return len(f.frontier) }
+
+// Observe advances the filter by one timestamp. candidates is the step's
+// candidate set (non-zero probabilities summing to 1, as produced by
+// prior.Model). It returns ErrNoValidTrajectory when no continuation is
+// consistent with the constraints, after which the filter is unusable.
+func (f *Filter) Observe(candidates []Candidate) error {
+	if len(candidates) == 0 {
+		return fmt.Errorf("core: empty candidate set at timestamp %d", f.time+1)
+	}
+	for _, c := range candidates {
+		if c.P <= 0 || c.Loc < 0 {
+			return fmt.Errorf("core: bad candidate (loc %d, p %g) at timestamp %d", c.Loc, c.P, f.time+1)
+		}
+	}
+	if f.time < 0 {
+		f.frontier = make([]*filterEntry, 0, len(candidates))
+		for _, c := range candidates {
+			f.frontier = append(f.frontier, &filterEntry{
+				node:  &Node{Time: 0, Loc: c.Loc, Stay: f.b.initialStay(c.Loc)},
+				alpha: c.P,
+			})
+		}
+		f.time = 0
+		f.normalizeAndPrune()
+		return nil
+	}
+
+	next := make(map[string]*filterEntry)
+	var order []*filterEntry
+	for _, e := range f.frontier {
+		for _, c := range candidates {
+			succ, ok := f.b.successor(e.node, c.Loc)
+			if !ok {
+				continue
+			}
+			key := succ.key()
+			ne, seen := next[key]
+			if !seen {
+				ne = &filterEntry{node: succ}
+				next[key] = ne
+				order = append(order, ne)
+			}
+			ne.alpha += e.alpha * c.P
+		}
+	}
+	if len(order) == 0 {
+		f.frontier = nil
+		return fmt.Errorf("%w (dead end at timestamp %d)", ErrNoValidTrajectory, f.time+1)
+	}
+	f.frontier = order
+	f.time++
+	f.normalizeAndPrune()
+	return nil
+}
+
+// normalizeAndPrune rescales frontier probabilities to sum to 1, applying
+// the beam cap first when configured.
+func (f *Filter) normalizeAndPrune() {
+	if f.beam > 0 && len(f.frontier) > f.beam {
+		sort.Slice(f.frontier, func(i, j int) bool {
+			return f.frontier[i].alpha > f.frontier[j].alpha
+		})
+		f.frontier = f.frontier[:f.beam]
+	}
+	total := 0.0
+	for _, e := range f.frontier {
+		total += e.alpha
+	}
+	if total <= 0 {
+		return
+	}
+	for _, e := range f.frontier {
+		e.alpha /= total
+	}
+}
+
+// Current returns the filtered distribution over locations at the latest
+// observed timestamp. numLocations sizes the result.
+func (f *Filter) Current(numLocations int) ([]float64, error) {
+	if f.time < 0 {
+		return nil, fmt.Errorf("core: filter has observed nothing")
+	}
+	dist := make([]float64, numLocations)
+	for _, e := range f.frontier {
+		dist[e.node.Loc] += e.alpha
+	}
+	return dist, nil
+}
+
+// MostLikely returns the most probable current location and its filtered
+// probability.
+func (f *Filter) MostLikely() (loc int, p float64, err error) {
+	if f.time < 0 {
+		return 0, 0, fmt.Errorf("core: filter has observed nothing")
+	}
+	byLoc := make(map[int]float64)
+	for _, e := range f.frontier {
+		byLoc[e.node.Loc] += e.alpha
+	}
+	loc, p = -1, -1
+	for l, lp := range byLoc {
+		if lp > p || (lp == p && l < loc) {
+			loc, p = l, lp
+		}
+	}
+	return loc, p, nil
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// StayUntracked is the ⊥ value of a location node's stay counter: the
+// location has no latency constraint, or the current stay already satisfies
+// it (§4.1, fact B with the paper's normalization).
+const StayUntracked = 0
+
+// TLEntry records that the object was last at location Loc at time Time and
+// that a traveling-time constraint leaving Loc may still bind (§4.1, fact C).
+type TLEntry struct {
+	Time int
+	Loc  int
+}
+
+// Node is a location node (τ, l, δ, TL) of §4.1. Two nodes with equal
+// exported fields are the same node; the graph never materializes duplicates.
+type Node struct {
+	Time int       // timestamp τ
+	Loc  int       // location l
+	Stay int       // δ: length of the current stay while a latency constraint is pending, or StayUntracked (⊥)
+	TL   []TLEntry // sorted by Loc; relevant recent leave times for TT checks
+
+	out []*Edge
+	in  []*Edge
+
+	surv    float64 // surviving (valid) fraction of compatible mass, rescaled per level
+	prob    float64 // p_N for source nodes
+	removed bool
+}
+
+// Out returns the node's outgoing edges. The slice must not be modified.
+func (n *Node) Out() []*Edge { return n.out }
+
+// In returns the node's incoming edges. The slice must not be modified.
+func (n *Node) In() []*Edge { return n.in }
+
+// SourceProb returns p_N(n) for a source node (0 for non-source nodes).
+func (n *Node) SourceProb() float64 { return n.prob }
+
+// key returns the canonical identity string of the node.
+func (n *Node) key() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(n.Loc))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(n.Stay))
+	for _, e := range n.TL {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(e.Loc))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(e.Time))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	stay := "⊥"
+	if n.Stay != StayUntracked {
+		stay = strconv.Itoa(n.Stay)
+	}
+	var tl []string
+	for _, e := range n.TL {
+		tl = append(tl, fmt.Sprintf("(%d,L%d)", e.Time, e.Loc))
+	}
+	return fmt.Sprintf("(%d, L%d, %s, {%s})", n.Time, n.Loc, stay, strings.Join(tl, ","))
+}
+
+// Edge is a ct-graph edge from a node to one of its successors, carrying the
+// (initially a-priori, finally conditioned) probability p_E.
+type Edge struct {
+	From, To *Node
+	P        float64
+}
+
+// Graph is a conditioned trajectory graph (Definition 4): source-to-target
+// paths correspond one-to-one to valid trajectories, and the product of a
+// path's source probability and edge probabilities is the conditioned
+// probability of its trajectory.
+type Graph struct {
+	byTime [][]*Node // alive nodes per timestamp
+}
+
+// Duration returns the number of timestamps spanned by the graph.
+func (g *Graph) Duration() int { return len(g.byTime) }
+
+// NodesAt returns the alive nodes at timestamp t. The slice must not be
+// modified.
+func (g *Graph) NodesAt(t int) []*Node { return g.byTime[t] }
+
+// Sources returns the source nodes (timestamp 0).
+func (g *Graph) Sources() []*Node { return g.byTime[0] }
+
+// Targets returns the target nodes (last timestamp).
+func (g *Graph) Targets() []*Node { return g.byTime[len(g.byTime)-1] }
+
+// Stats summarizes the size of a ct-graph (§6.7 discusses the memory
+// footprint of ct-graphs under different constraint sets).
+type Stats struct {
+	Nodes int
+	Edges int
+	// Bytes estimates the in-memory footprint: node struct + TL entries +
+	// edge structs + adjacency slots.
+	Bytes int
+}
+
+// Stats returns size statistics for the graph.
+func (g *Graph) Stats() Stats {
+	var s Stats
+	const nodeBytes = 96 // struct + slice headers, approximate
+	const edgeBytes = 24 + 16
+	for _, nodes := range g.byTime {
+		for _, n := range nodes {
+			s.Nodes++
+			s.Bytes += nodeBytes + 16*len(n.TL)
+			s.Edges += len(n.out)
+			s.Bytes += edgeBytes * len(n.out)
+		}
+	}
+	return s
+}
+
+// PathProbability returns the probability of the source-to-target path given
+// as a slice of nodes: p_N of the first node times the probabilities of the
+// traversed edges. It returns an error when the slice is not a
+// source-to-target path of the graph.
+func (g *Graph) PathProbability(path []*Node) (float64, error) {
+	if len(path) != g.Duration() {
+		return 0, fmt.Errorf("core: path has %d nodes, graph spans %d timestamps", len(path), g.Duration())
+	}
+	if path[0].Time != 0 {
+		return 0, fmt.Errorf("core: path does not start at a source node")
+	}
+	p := path[0].prob
+	for i := 0; i+1 < len(path); i++ {
+		var e *Edge
+		for _, cand := range path[i].out {
+			if cand.To == path[i+1] {
+				e = cand
+				break
+			}
+		}
+		if e == nil {
+			return 0, fmt.Errorf("core: no edge from %v to %v", path[i], path[i+1])
+		}
+		p *= e.P
+	}
+	return p, nil
+}
+
+// Trajectory returns the location sequence traversed by a path of nodes.
+func Trajectory(path []*Node) []int {
+	locs := make([]int, len(path))
+	for i, n := range path {
+		locs[i] = n.Loc
+	}
+	return locs
+}
+
+// WalkPaths calls fn for every source-to-target path with its conditioned
+// probability, stopping early (with an error) after more than limit paths.
+// It is intended for tests and small graphs; real consumers should use
+// Marginals, queries, sampling or MostProbable instead.
+func (g *Graph) WalkPaths(limit int, fn func(path []*Node, p float64)) error {
+	count := 0
+	var rec func(path []*Node, p float64) error
+	rec = func(path []*Node, p float64) error {
+		n := path[len(path)-1]
+		if n.Time == g.Duration()-1 {
+			count++
+			if count > limit {
+				return fmt.Errorf("core: more than %d paths", limit)
+			}
+			fn(path, p)
+			return nil
+		}
+		for _, e := range n.out {
+			if err := rec(append(path, e.To), p*e.P); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, src := range g.Sources() {
+		if err := rec([]*Node{src}, src.prob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConditionedDistribution enumerates every valid trajectory with its
+// conditioned probability, keyed by the comma-separated location sequence.
+// Intended for tests; fails beyond limit paths.
+func (g *Graph) ConditionedDistribution(limit int) (map[string]float64, error) {
+	out := make(map[string]float64)
+	err := g.WalkPaths(limit, func(path []*Node, p float64) {
+		out[TrajectoryKey(Trajectory(path))] += p
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TrajectoryKey renders a location sequence as a canonical map key.
+func TrajectoryKey(locs []int) string {
+	var b strings.Builder
+	for i, l := range locs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(l))
+	}
+	return b.String()
+}
+
+// Forward returns, for every node, the total probability of source-prefixes
+// reaching it: α(n) = Σ over partial paths from a source to n of the product
+// of the source probability and edge probabilities.
+func (g *Graph) Forward() map[*Node]float64 {
+	alpha := make(map[*Node]float64)
+	for _, src := range g.Sources() {
+		alpha[src] = src.prob
+	}
+	for t := 0; t+1 < g.Duration(); t++ {
+		for _, n := range g.byTime[t] {
+			a := alpha[n]
+			for _, e := range n.out {
+				alpha[e.To] += a * e.P
+			}
+		}
+	}
+	return alpha
+}
+
+// Backward returns, for every node, the total probability of suffixes from
+// it to a target: β(n) = Σ over partial paths from n to a target of the
+// product of edge probabilities (1 for targets).
+func (g *Graph) Backward() map[*Node]float64 {
+	beta := make(map[*Node]float64)
+	for _, n := range g.Targets() {
+		beta[n] = 1
+	}
+	for t := g.Duration() - 2; t >= 0; t-- {
+		for _, n := range g.byTime[t] {
+			var b float64
+			for _, e := range n.out {
+				b += e.P * beta[e.To]
+			}
+			beta[n] = b
+		}
+	}
+	return beta
+}
+
+// Marginals returns, for each timestamp, the conditioned distribution over
+// locations: out[τ][l] is the probability that the object was at location l
+// at time τ given the readings and the constraints. numLocations sizes the
+// rows; location IDs must be smaller.
+func (g *Graph) Marginals(numLocations int) [][]float64 {
+	alpha := g.Forward()
+	beta := g.Backward()
+	out := make([][]float64, g.Duration())
+	for t := range out {
+		row := make([]float64, numLocations)
+		for _, n := range g.byTime[t] {
+			row[n.Loc] += alpha[n] * beta[n]
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// MostProbable returns the valid trajectory with the highest conditioned
+// probability and that probability (Viterbi decoding over the ct-graph).
+func (g *Graph) MostProbable() ([]int, float64) {
+	best := make(map[*Node]float64)
+	back := make(map[*Node]*Node)
+	for _, src := range g.Sources() {
+		best[src] = src.prob
+	}
+	for t := 0; t+1 < g.Duration(); t++ {
+		for _, n := range g.byTime[t] {
+			b, ok := best[n]
+			if !ok {
+				continue
+			}
+			for _, e := range n.out {
+				if v := b * e.P; v > best[e.To] {
+					best[e.To] = v
+					back[e.To] = n
+				}
+			}
+		}
+	}
+	var argmax *Node
+	bestP := -1.0
+	for _, n := range g.Targets() {
+		if best[n] > bestP {
+			bestP = best[n]
+			argmax = n
+		}
+	}
+	if argmax == nil {
+		return nil, 0
+	}
+	locs := make([]int, g.Duration())
+	for n := argmax; n != nil; n = back[n] {
+		locs[n.Time] = n.Loc
+	}
+	return locs, bestP
+}
+
+// Sample draws a valid trajectory from the conditioned distribution. Because
+// edge probabilities are already conditioned, a simple ancestral walk from a
+// source suffices — the property §7 highlights as an advantage of ct-graphs
+// over rejection-style "sampling under constraints".
+func (g *Graph) Sample(rng *stats.RNG) []int {
+	srcs := g.Sources()
+	weights := make([]float64, len(srcs))
+	for i, s := range srcs {
+		weights[i] = s.prob
+	}
+	idx := rng.Pick(weights)
+	if idx < 0 {
+		return nil
+	}
+	n := srcs[idx]
+	locs := make([]int, 0, g.Duration())
+	locs = append(locs, n.Loc)
+	for n.Time+1 < g.Duration() {
+		w := make([]float64, len(n.out))
+		for i, e := range n.out {
+			w[i] = e.P
+		}
+		i := rng.Pick(w)
+		if i < 0 {
+			return nil // defensive: dead end cannot happen in a well-formed graph
+		}
+		n = n.out[i].To
+		locs = append(locs, n.Loc)
+	}
+	return locs
+}
+
+// CheckInvariants verifies the structural invariants of a well-formed
+// ct-graph: per-node outgoing probabilities sum to 1 (non-targets), source
+// probabilities sum to 1, every node lies on some source-to-target path, and
+// edge endpoints agree on adjacency. It is used by tests and returns the
+// first violation found.
+func (g *Graph) CheckInvariants(tol float64) error {
+	if g.Duration() == 0 {
+		return fmt.Errorf("core: empty graph")
+	}
+	var srcSum float64
+	for _, s := range g.Sources() {
+		srcSum += s.prob
+	}
+	if math.Abs(srcSum-1) > tol {
+		return fmt.Errorf("core: source probabilities sum to %g", srcSum)
+	}
+	for t, nodes := range g.byTime {
+		if len(nodes) == 0 {
+			return fmt.Errorf("core: no nodes at timestamp %d", t)
+		}
+		for _, n := range nodes {
+			if n.removed {
+				return fmt.Errorf("core: removed node %v still listed", n)
+			}
+			if t < g.Duration()-1 {
+				if len(n.out) == 0 {
+					return fmt.Errorf("core: non-target node %v has no successors", n)
+				}
+				var sum float64
+				for _, e := range n.out {
+					if e.From != n {
+						return fmt.Errorf("core: edge list corruption at %v", n)
+					}
+					if e.P <= 0 || e.P > 1+tol {
+						return fmt.Errorf("core: edge %v->%v has probability %g", e.From, e.To, e.P)
+					}
+					sum += e.P
+				}
+				if math.Abs(sum-1) > tol {
+					return fmt.Errorf("core: out-probabilities of %v sum to %g", n, sum)
+				}
+			}
+			if t > 0 && len(n.in) == 0 {
+				return fmt.Errorf("core: non-source node %v has no predecessors", n)
+			}
+		}
+	}
+	// Marginal mass must be 1 at every timestamp.
+	alpha := g.Forward()
+	beta := g.Backward()
+	for t, nodes := range g.byTime {
+		var mass float64
+		for _, n := range nodes {
+			mass += alpha[n] * beta[n]
+		}
+		if math.Abs(mass-1) > tol {
+			return fmt.Errorf("core: probability mass at timestamp %d is %g", t, mass)
+		}
+	}
+	return nil
+}
+
+// sortTL keeps TL entries in canonical order (by location).
+func sortTL(tl []TLEntry) {
+	sort.Slice(tl, func(i, j int) bool { return tl[i].Loc < tl[j].Loc })
+}

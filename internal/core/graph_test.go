@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/constraints"
+	"repro/internal/stats"
+)
+
+func buildSimple(t *testing.T) *Graph {
+	t.Helper()
+	ls := FromDistributions([][]float64{
+		{0.6, 0.4},
+		{0.5, 0.5},
+	})
+	g, err := Build(ls, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := buildSimple(t)
+	if g.Duration() != 2 {
+		t.Errorf("Duration = %d", g.Duration())
+	}
+	if len(g.Sources()) != 2 || len(g.Targets()) != 2 {
+		t.Errorf("sources/targets = %d/%d", len(g.Sources()), len(g.Targets()))
+	}
+	s := g.Stats()
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Bytes <= 0 {
+		t.Errorf("Bytes = %d", s.Bytes)
+	}
+}
+
+func TestPathProbability(t *testing.T) {
+	g := buildSimple(t)
+	src := g.Sources()[0]
+	dst := src.Out()[0].To
+	p, err := g.PathProbability([]*Node{src, dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-src.SourceProb()*src.Out()[0].P) > 1e-12 {
+		t.Errorf("PathProbability = %v", p)
+	}
+	if _, err := g.PathProbability([]*Node{src}); err == nil {
+		t.Errorf("short path accepted")
+	}
+	if _, err := g.PathProbability([]*Node{dst, src}); err == nil {
+		t.Errorf("path not starting at source accepted")
+	}
+	// Disconnected pair.
+	other := g.Sources()[1]
+	disconnected := []*Node{src, other}
+	if _, err := g.PathProbability(disconnected); err == nil {
+		t.Errorf("non-edge accepted")
+	}
+}
+
+func TestWalkPathsLimit(t *testing.T) {
+	g := buildSimple(t)
+	if err := g.WalkPaths(2, func([]*Node, float64) {}); err == nil {
+		t.Errorf("limit not enforced (4 paths, limit 2)")
+	}
+	count := 0
+	if err := g.WalkPaths(10, func([]*Node, float64) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("walked %d paths, want 4", count)
+	}
+}
+
+func TestForwardBackwardMass(t *testing.T) {
+	ls := FromDistributions([][]float64{
+		{0.5, 0.5},
+		{0.25, 0.75},
+		{1},
+	})
+	ic := constraints.NewSet()
+	ic.AddDU(1, 0)
+	g, err := Build(ls, ic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := g.Forward()
+	beta := g.Backward()
+	for tau := 0; tau < g.Duration(); tau++ {
+		var mass float64
+		for _, n := range g.NodesAt(tau) {
+			mass += alpha[n] * beta[n]
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Errorf("mass at %d = %v", tau, mass)
+		}
+	}
+}
+
+func TestMarginalsSumToOne(t *testing.T) {
+	ls, ic := runningExample(t)
+	g, err := Build(ls, ic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Marginals(6)
+	for tau, row := range m {
+		var sum float64
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("marginals at %d sum to %v", tau, sum)
+		}
+	}
+	// Running example: the object is at L1 then L3, L3 with certainty.
+	if m[0][l1] != 1 || m[1][l3] != 1 || m[2][l3] != 1 {
+		t.Errorf("marginals = %v", m)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := &Node{Time: 3, Loc: 2, Stay: StayUntracked, TL: []TLEntry{{Time: 1, Loc: 0}}}
+	s := n.String()
+	if !strings.Contains(s, "L2") || !strings.Contains(s, "⊥") || !strings.Contains(s, "(1,L0)") {
+		t.Errorf("String = %q", s)
+	}
+	n.Stay = 2
+	if !strings.Contains(n.String(), "2") {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+func TestNodeKeyDistinguishes(t *testing.T) {
+	a := &Node{Time: 1, Loc: 2, Stay: 1}
+	b := &Node{Time: 1, Loc: 2, Stay: StayUntracked}
+	if a.key() == b.key() {
+		t.Errorf("keys should differ on stay counter")
+	}
+	c := &Node{Time: 1, Loc: 2, Stay: 1, TL: []TLEntry{{Time: 0, Loc: 5}}}
+	if a.key() == c.key() {
+		t.Errorf("keys should differ on TL")
+	}
+	d := &Node{Time: 1, Loc: 2, Stay: 1, TL: []TLEntry{{Time: 0, Loc: 5}}}
+	if c.key() != d.key() {
+		t.Errorf("identical nodes should share a key")
+	}
+}
+
+func TestSampleSingleton(t *testing.T) {
+	ls := FromDistributions([][]float64{{0, 1}})
+	g, err := Build(ls, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	locs := g.Sample(rng)
+	if len(locs) != 1 || locs[0] != 1 {
+		t.Errorf("Sample = %v", locs)
+	}
+}
+
+func TestMostProbableSimple(t *testing.T) {
+	g := buildSimple(t)
+	locs, p := g.MostProbable()
+	// Highest-prob path: source 0 (0.6) then either (0.5 each) -> 0.3.
+	if math.Abs(p-0.3) > 1e-12 {
+		t.Errorf("MostProbable p = %v", p)
+	}
+	if locs[0] != 0 {
+		t.Errorf("MostProbable start = %d", locs[0])
+	}
+}
+
+func TestTrajectoryKeyAndTrajectory(t *testing.T) {
+	if TrajectoryKey([]int{1, 2, 3}) != "1,2,3" {
+		t.Errorf("TrajectoryKey wrong")
+	}
+	if TrajectoryKey(nil) != "" {
+		t.Errorf("empty TrajectoryKey wrong")
+	}
+	g := buildSimple(t)
+	src := g.Sources()[0]
+	path := []*Node{src, src.Out()[0].To}
+	locs := Trajectory(path)
+	if len(locs) != 2 || locs[0] != src.Loc {
+		t.Errorf("Trajectory = %v", locs)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	g := buildSimple(t)
+	// Corrupt an edge probability.
+	g.Sources()[0].out[0].P = 0.9
+	if err := g.CheckInvariants(1e-9); err == nil {
+		t.Errorf("corrupted graph passed invariants")
+	}
+	if err := (&Graph{}).CheckInvariants(1e-9); err == nil {
+		t.Errorf("empty graph passed invariants")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	if o.endLatency() != constraints.StrictEnd {
+		t.Errorf("nil end latency = %v", o.endLatency())
+	}
+	o = &Options{EndLatency: constraints.LenientEnd}
+	if o.endLatency() != constraints.LenientEnd {
+		t.Errorf("options not honored")
+	}
+}

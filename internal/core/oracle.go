@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/constraints"
+)
+
+// OracleResult is the exact conditioned distribution over valid trajectories
+// computed by brute-force enumeration.
+type OracleResult struct {
+	// Trajectories holds every valid trajectory (one location per
+	// timestamp), parallel to Probs.
+	Trajectories [][]int
+	// Probs holds the conditioned probabilities, summing to 1.
+	Probs []float64
+	// TotalPrior is the total a-priori probability of the valid
+	// trajectories (the denominator of the conditioning).
+	TotalPrior float64
+	// Enumerated counts all trajectories considered, valid or not.
+	Enumerated int
+}
+
+// Distribution returns the result keyed by TrajectoryKey.
+func (r *OracleResult) Distribution() map[string]float64 {
+	out := make(map[string]float64, len(r.Trajectories))
+	for i, t := range r.Trajectories {
+		out[TrajectoryKey(t)] = r.Probs[i]
+	}
+	return out
+}
+
+// EnumerateConditioned computes p*(t | IC) exactly, the way §3.1 defines it:
+// enumerate every trajectory over the l-sequence, keep the ones valid per
+// Definition 2, and divide each a-priori probability by their total. This is
+// the naive approach the introduction shows to be infeasible in general
+// (2^100 trajectories for 100 ambiguous timestamps); it exists as the
+// correctness oracle for Build and as the baseline of ablation A4.
+//
+// It aborts with an error once more than limit trajectories have been
+// enumerated. It returns ErrNoValidTrajectory when no trajectory is valid.
+func EnumerateConditioned(ls *LSequence, ic *constraints.Set, mode constraints.EndLatencyMode, limit int) (*OracleResult, error) {
+	if err := ls.Validate(); err != nil {
+		return nil, err
+	}
+	if ic == nil {
+		ic = constraints.NewSet()
+	}
+	res := &OracleResult{}
+	locs := make([]int, ls.Duration())
+	var rec func(t int, prior float64) error
+	rec = func(t int, prior float64) error {
+		if t == ls.Duration() {
+			res.Enumerated++
+			if res.Enumerated > limit {
+				return fmt.Errorf("core: oracle enumeration exceeded %d trajectories", limit)
+			}
+			if ic.ValidTrajectory(locs, mode) {
+				res.Trajectories = append(res.Trajectories, append([]int(nil), locs...))
+				res.Probs = append(res.Probs, prior)
+				res.TotalPrior += prior
+			}
+			return nil
+		}
+		for _, c := range ls.Steps[t].Candidates {
+			locs[t] = c.Loc
+			if err := rec(t+1, prior*c.P); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 1); err != nil {
+		return nil, err
+	}
+	if res.TotalPrior <= 0 {
+		return nil, ErrNoValidTrajectory
+	}
+	for i := range res.Probs {
+		res.Probs[i] /= res.TotalPrior
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import "sort"
+
+// TopK returns the up-to-k most probable valid trajectories and their
+// conditioned probabilities, in descending probability order. TopK(1) is
+// MostProbable. It generalizes Viterbi decoding with per-node k-best lists,
+// so its cost is O(k·|E|·log k) regardless of how many trajectories the
+// graph encodes.
+func (g *Graph) TopK(k int) ([][]int, []float64) {
+	if k <= 0 || g.Duration() == 0 {
+		return nil, nil
+	}
+	type hyp struct {
+		p    float64
+		prev *hyp
+		node *Node
+	}
+	best := make(map[*Node][]*hyp)
+	push := func(n *Node, h *hyp) {
+		list := append(best[n], h)
+		sort.Slice(list, func(i, j int) bool { return list[i].p > list[j].p })
+		if len(list) > k {
+			list = list[:k]
+		}
+		best[n] = list
+	}
+	for _, src := range g.Sources() {
+		push(src, &hyp{p: src.prob, node: src})
+	}
+	for t := 0; t+1 < g.Duration(); t++ {
+		for _, n := range g.byTime[t] {
+			for _, h := range best[n] {
+				for _, e := range n.out {
+					push(e.To, &hyp{p: h.p * e.P, prev: h, node: e.To})
+				}
+			}
+		}
+	}
+	var finals []*hyp
+	for _, tgt := range g.Targets() {
+		finals = append(finals, best[tgt]...)
+	}
+	sort.Slice(finals, func(i, j int) bool { return finals[i].p > finals[j].p })
+	if len(finals) > k {
+		finals = finals[:k]
+	}
+	trajectories := make([][]int, len(finals))
+	probs := make([]float64, len(finals))
+	for i, h := range finals {
+		locs := make([]int, g.Duration())
+		for cur := h; cur != nil; cur = cur.prev {
+			locs[cur.node.Time] = cur.node.Loc
+		}
+		trajectories[i] = locs
+		probs[i] = h.p
+	}
+	return trajectories, probs
+}

@@ -1,0 +1,272 @@
+// Package dataset assembles the paper's two synthetic datasets (§6.1): SYN1
+// (a four-floor building) and SYN2 (an eight-floor building), both with
+// floors modeled on Fig. 1(a): a corridor serving a row of rooms, a
+// stairwell linking the floors, one pair of directly connected rooms per
+// floor, and RFID readers placed so that coverage overlaps near doors
+// (making readings ambiguous, which is the problem the paper sets out to
+// clean).
+//
+// A Dataset bundles everything an experiment needs: the plan, the readers,
+// the ground-truth detection matrix F (used by the reading generator), the
+// calibrated matrix F̂ and the prior p*(l|R) built from it (§6.2), and the
+// three constraint sets of §6.3 (DU, DU+LT, DU+LT+TT).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/constraints"
+	"repro/internal/floorplan"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/prior"
+	"repro/internal/rfid"
+	"repro/internal/stats"
+)
+
+// Selection names one of the paper's three constraint sets (§6.3, §6.5).
+type Selection int
+
+const (
+	// SelDU uses only the direct-unreachability constraints implied by
+	// the map.
+	SelDU Selection = iota
+	// SelDULT adds the latency constraints (5 s minimum stay everywhere
+	// but the corridors).
+	SelDULT
+	// SelDULTTT adds the traveling-time constraints derived from minimum
+	// walking distances and the maximum walking speed.
+	SelDULTTT
+)
+
+// String implements fmt.Stringer using the paper's notation.
+func (s Selection) String() string {
+	switch s {
+	case SelDU:
+		return "DU"
+	case SelDULT:
+		return "DU+LT"
+	case SelDULTTT:
+		return "DU+LT+TT"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// Selections lists the paper's constraint sets in increasing strength.
+var Selections = []Selection{SelDU, SelDULT, SelDULTTT}
+
+// Config parameterizes dataset construction. Use SYN1/SYN2 for the paper's
+// datasets.
+type Config struct {
+	Floors             int
+	Seed               uint64
+	CellSize           float64         // grid cell side (§6.2 uses 0.5 m)
+	Detection          rfid.ThreeState // ground-truth antenna model
+	CalibrationSamples int             // §6.2 keeps a tag 30 s per cell
+	MaxSpeed           float64         // m/s, for TT inference and the generator
+	MinStay            int             // LT minimum stay (§6.3 uses 5 s)
+	TTCap              int             // cap on inferred TT horizons (0 = uncapped; see constraints.InferTT)
+	PriorOptions       prior.Options   // formula/pruning (defaults reproduce the paper)
+}
+
+// SYN1 returns the configuration of the paper's four-floor dataset.
+func SYN1() Config { return synConfig(4, 0x5751) }
+
+// SYN2 returns the configuration of the paper's eight-floor dataset.
+func SYN2() Config { return synConfig(8, 0x5752) }
+
+func synConfig(floors int, seed uint64) Config {
+	return Config{
+		Floors:             floors,
+		Seed:               seed,
+		CellSize:           0.5,
+		Detection:          rfid.DefaultThreeState(),
+		CalibrationSamples: 30,
+		MaxSpeed:           2,
+		MinStay:            5,
+		TTCap:              15,
+	}
+}
+
+// Durations lists the paper's trajectory durations in seconds
+// ({30, 60, 90, 120} minutes, §6.1).
+var Durations = []int{30 * 60, 60 * 60, 90 * 60, 120 * 60}
+
+// TrajectoriesPerDuration is the paper's 25 trajectories per duration (§6.1).
+const TrajectoriesPerDuration = 25
+
+// Dataset is a fully assembled synthetic dataset.
+type Dataset struct {
+	Name    string
+	Config  Config
+	Plan    *floorplan.Plan
+	Cells   *rfid.CellSpace
+	Readers []rfid.Reader
+	// Truth is the ground-truth detection matrix the reading generator
+	// samples from.
+	Truth *rfid.Matrix
+	// Learned is the calibrated matrix F̂ the prior is built on (§6.2).
+	Learned *rfid.Matrix
+	// Prior is p*(l|R) over Learned.
+	Prior *prior.Model
+
+	du, lt, tt *constraints.Set
+}
+
+// Instance pairs a ground-truth trajectory with the readings it produced.
+type Instance struct {
+	Truth    *gen.Trajectory
+	Readings rfid.Sequence
+}
+
+// Build assembles a dataset from a configuration.
+func Build(name string, cfg Config) (*Dataset, error) {
+	if cfg.Floors < 1 {
+		return nil, fmt.Errorf("dataset: need at least one floor, got %d", cfg.Floors)
+	}
+	if cfg.CellSize <= 0 {
+		return nil, fmt.Errorf("dataset: cell size must be positive")
+	}
+	if cfg.MaxSpeed <= 0 {
+		return nil, fmt.Errorf("dataset: max speed must be positive")
+	}
+	plan, readers, err := buildBuilding(cfg.Floors)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := rfid.NewCellSpace(plan, cfg.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	truth := rfid.NewTruthMatrix(cells, readers, cfg.Detection)
+	rng := stats.NewRNG(cfg.Seed)
+	learned := rfid.Calibrate(truth, cfg.CalibrationSamples, rng.Split())
+
+	d := &Dataset{
+		Name:    name,
+		Config:  cfg,
+		Plan:    plan,
+		Cells:   cells,
+		Readers: readers,
+		Truth:   truth,
+		Learned: learned,
+		Prior:   prior.New(learned, cfg.PriorOptions),
+	}
+	d.du = constraints.InferDU(plan)
+	d.lt = constraints.InferLT(plan, cfg.MinStay, floorplan.Corridor)
+	d.tt, err = constraints.InferTT(plan, cfg.MaxSpeed, cfg.TTCap)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Constraints returns a fresh constraint set for the given selection.
+func (d *Dataset) Constraints(sel Selection) *constraints.Set {
+	out := d.du.Clone()
+	if sel >= SelDULT {
+		out.Merge(d.lt)
+	}
+	if sel >= SelDULTTT {
+		out.Merge(d.tt)
+	}
+	return out
+}
+
+// Generate produces n trajectory/reading instances of the given duration
+// (in timestamps), deterministically from the dataset seed and the caller's
+// stream index so experiments are reproducible.
+func (d *Dataset) Generate(duration, n int, stream uint64) ([]Instance, error) {
+	rng := stats.NewRNG(d.Config.Seed ^ (0x9E3779B97F4A7C15 * (stream + uint64(duration) + 1)))
+	cfg := gen.NewConfig(duration)
+	cfg.MaxSpeed = d.Config.MaxSpeed
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		traj, err := gen.GenerateTrajectory(d.Plan, cfg, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		readings := gen.GenerateReadings(traj, d.Truth, rng.Split())
+		out = append(out, Instance{Truth: traj, Readings: readings})
+	}
+	return out, nil
+}
+
+// Floor geometry constants (meters), modeled on Fig. 1(a).
+const (
+	floorW    = 22.0
+	floorH    = 10.0
+	corridorH = 3.0
+	doorWidth = 1.2
+	stairLen  = 7.0
+)
+
+// buildBuilding constructs the multi-floor plan and its readers. Each floor:
+//
+//	+------+------+------+-----+-----+
+//	|  L1  d  L2  |  L3  | L4  | ST  |   rooms, y in [3, 10]
+//	+--d---+--d---+--d---+--d--+--d--+
+//	|            corridor            |   y in [0, 3]
+//	+--------------------------------+
+//
+// L1 and L2 are also joined by a direct room-to-room door (d), giving the
+// map non-trivial DU structure; ST is the stairwell, linked to the next
+// floor's stairwell.
+func buildBuilding(floors int) (*floorplan.Plan, []rfid.Reader, error) {
+	b := floorplan.NewBuilder()
+	var readers []rfid.Reader
+	readerID := 0
+	addReader := func(name string, floor int, p geom.Point) {
+		readers = append(readers, rfid.Reader{ID: readerID, Name: name, Floor: floor, Pos: p})
+		readerID++
+	}
+	prevStairs := -1
+	for f := 0; f < floors; f++ {
+		fl := fmt.Sprintf("F%d", f)
+		cor := b.AddLocation(fl+".corridor", floorplan.Corridor, f, geom.RectWH(0, 0, floorW, corridorH))
+		l1 := b.AddLocation(fl+".L1", floorplan.Room, f, geom.RectWH(0, corridorH, 5, floorH-corridorH))
+		l2 := b.AddLocation(fl+".L2", floorplan.Room, f, geom.RectWH(5, corridorH, 5, floorH-corridorH))
+		l3 := b.AddLocation(fl+".L3", floorplan.Room, f, geom.RectWH(10, corridorH, 5, floorH-corridorH))
+		l4 := b.AddLocation(fl+".L4", floorplan.Room, f, geom.RectWH(15, corridorH, 4, floorH-corridorH))
+		st := b.AddLocation(fl+".stairs", floorplan.Stairwell, f, geom.RectWH(19, corridorH, 3, floorH-corridorH))
+
+		b.AddDoor(cor, l1, geom.Pt(2.5, corridorH), doorWidth)
+		b.AddDoor(cor, l2, geom.Pt(7.5, corridorH), doorWidth)
+		b.AddDoor(cor, l3, geom.Pt(12.5, corridorH), doorWidth)
+		b.AddDoor(cor, l4, geom.Pt(17, corridorH), doorWidth)
+		b.AddDoor(cor, st, geom.Pt(20.5, corridorH), doorWidth)
+		// Direct room-to-room door between L1 and L2.
+		b.AddDoor(l1, l2, geom.Pt(5, 7), doorWidth)
+
+		if prevStairs >= 0 {
+			b.AddStairs(prevStairs, st, geom.Pt(20.5, 6.5), geom.Pt(20.5, 6.5), stairLen)
+		}
+		prevStairs = st
+
+		// Readers: one just inside each room near its corridor door
+		// (seeing both sides of the doorway), one deeper in each room,
+		// four along the corridor, and one in the stairwell. Overlap
+		// near doors is what makes readings ambiguous; the in-room
+		// readers keep missed reads (empty reader sets, which leave
+		// every location possible a priori) reasonably rare.
+		addReader(fl+".r1", f, geom.Pt(2.5, corridorH+1))
+		addReader(fl+".r2", f, geom.Pt(7.5, corridorH+1))
+		addReader(fl+".r3", f, geom.Pt(12.5, corridorH+1))
+		addReader(fl+".r4", f, geom.Pt(17, corridorH+1))
+		addReader(fl+".r1b", f, geom.Pt(2.5, 8))
+		addReader(fl+".r2b", f, geom.Pt(7.5, 8))
+		addReader(fl+".r3b", f, geom.Pt(12.5, 8))
+		addReader(fl+".r4b", f, geom.Pt(17, 8))
+		addReader(fl+".rc1", f, geom.Pt(3, 1.5))
+		addReader(fl+".rc2", f, geom.Pt(8.5, 1.5))
+		addReader(fl+".rc3", f, geom.Pt(14, 1.5))
+		addReader(fl+".rc4", f, geom.Pt(19.5, 1.5))
+		addReader(fl+".rs", f, geom.Pt(20.5, 6.5))
+	}
+	plan, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, readers, nil
+}

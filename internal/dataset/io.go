@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/rfid"
+)
+
+// File is the on-disk JSON format shared by cmd/datagen (writer) and
+// cmd/rfidclean (reader): a batch of instances generated from one of the
+// built-in datasets. The dataset name lets the consumer rebuild the matching
+// plan, prior and constraints.
+type File struct {
+	// Dataset is "SYN1" or "SYN2".
+	Dataset string `json:"dataset"`
+	// Instances holds the generated trajectories and their readings.
+	Instances []FileInstance `json:"instances"`
+}
+
+// FileInstance is one serialized trajectory/reading pair. TruthLocations is
+// the per-timestamp ground truth (location IDs), kept so downstream tools
+// can score cleaning accuracy; TruthPoints carries the full positions.
+type FileInstance struct {
+	Duration       int              `json:"duration"`
+	Readings       rfid.Sequence    `json:"readings"`
+	TruthLocations []int            `json:"truthLocations"`
+	TruthPoints    []gen.TrackPoint `json:"truthPoints,omitempty"`
+}
+
+// ConfigByName resolves the built-in dataset configurations.
+func ConfigByName(name string) (Config, error) {
+	switch name {
+	case "SYN1":
+		return SYN1(), nil
+	case "SYN2":
+		return SYN2(), nil
+	default:
+		return Config{}, fmt.Errorf("dataset: unknown dataset %q (want SYN1 or SYN2)", name)
+	}
+}
+
+// SelectionByName resolves the paper's constraint-set names.
+func SelectionByName(name string) (Selection, error) {
+	for _, sel := range Selections {
+		if sel.String() == name {
+			return sel, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown constraint set %q (want DU, DU+LT or DU+LT+TT)", name)
+}
+
+// Save writes instances as JSON. When fullPoints is false the (bulky)
+// per-timestamp positions are omitted and only ground-truth location IDs are
+// kept.
+func Save(w io.Writer, name string, instances []Instance, fullPoints bool) error {
+	f := File{Dataset: name}
+	for _, inst := range instances {
+		fi := FileInstance{
+			Duration:       inst.Truth.Duration(),
+			Readings:       inst.Readings,
+			TruthLocations: inst.Truth.Locations(),
+		}
+		if fullPoints {
+			fi.TruthPoints = inst.Truth.Points
+		}
+		f.Instances = append(f.Instances, fi)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a File written by Save and validates it.
+func Load(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dataset: decoding instance file: %w", err)
+	}
+	if _, err := ConfigByName(f.Dataset); err != nil {
+		return nil, err
+	}
+	if len(f.Instances) == 0 {
+		return nil, fmt.Errorf("dataset: instance file is empty")
+	}
+	for i, inst := range f.Instances {
+		if err := inst.Readings.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: instance %d: %w", i, err)
+		}
+		if len(inst.TruthLocations) != inst.Readings.Duration() {
+			return nil, fmt.Errorf("dataset: instance %d: truth/readings length mismatch", i)
+		}
+	}
+	return &f, nil
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfigByName(t *testing.T) {
+	for _, name := range []string{"SYN1", "SYN2"} {
+		cfg, err := ConfigByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Floors == 0 {
+			t.Errorf("%s: zero config", name)
+		}
+	}
+	if _, err := ConfigByName("SYN9"); err == nil {
+		t.Errorf("unknown dataset accepted")
+	}
+}
+
+func TestSelectionByName(t *testing.T) {
+	for _, sel := range Selections {
+		got, err := SelectionByName(sel.String())
+		if err != nil || got != sel {
+			t.Errorf("round trip %v failed: %v %v", sel, got, err)
+		}
+	}
+	if _, err := SelectionByName("ALL"); err == nil {
+		t.Errorf("unknown selection accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := buildSYN1(t)
+	insts, err := d.Generate(60, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fullPoints := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := Save(&buf, "SYN1", insts, fullPoints); err != nil {
+			t.Fatal(err)
+		}
+		f, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Dataset != "SYN1" || len(f.Instances) != 2 {
+			t.Fatalf("loaded %+v", f)
+		}
+		for i, fi := range f.Instances {
+			if fi.Duration != 60 {
+				t.Errorf("instance %d duration = %d", i, fi.Duration)
+			}
+			truth := insts[i].Truth.Locations()
+			for tau := range truth {
+				if fi.TruthLocations[tau] != truth[tau] {
+					t.Fatalf("instance %d truth diverged at %d", i, tau)
+				}
+				if !fi.Readings[tau].Readers.Equal(insts[i].Readings[tau].Readers) {
+					t.Fatalf("instance %d readings diverged at %d", i, tau)
+				}
+			}
+			if fullPoints && len(fi.TruthPoints) != 60 {
+				t.Errorf("instance %d missing points", i)
+			}
+			if !fullPoints && len(fi.TruthPoints) != 0 {
+				t.Errorf("instance %d has unexpected points", i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"unknown dataset": `{"dataset":"NOPE","instances":[{"duration":1,"readings":[{"time":0,"readers":[]}],"truthLocations":[0]}]}`,
+		"empty":           `{"dataset":"SYN1","instances":[]}`,
+		"bad readings":    `{"dataset":"SYN1","instances":[{"duration":2,"readings":[{"time":5,"readers":[]}],"truthLocations":[0]}]}`,
+		"length mismatch": `{"dataset":"SYN1","instances":[{"duration":1,"readings":[{"time":0,"readers":[]}],"truthLocations":[0,1]}]}`,
+	}
+	for name, body := range cases {
+		if _, err := Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

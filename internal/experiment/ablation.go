@@ -1,0 +1,326 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/constraints"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/prior"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// PriorAblationResult compares the paper's p*(l|R) formula against the full
+// detection likelihood (ablation A1 in DESIGN.md).
+type PriorAblationResult struct {
+	Dataset  string
+	Formula  prior.Formula
+	Stay     float64 // mean stay accuracy over cleaned data (DU+LT)
+	Prior    float64 // mean stay accuracy of the raw prior
+	Cands    float64 // mean candidate locations per timestamp
+	Queries  int
+	Skipped  int
+	Duration int
+}
+
+// PriorFormulaAblation measures how the cell-weight formula affects the
+// a-priori ambiguity and the cleaned stay accuracy.
+func PriorFormulaAblation(cfg dataset.Config, name string, p Params) ([]PriorAblationResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	dur := p.Durations[len(p.Durations)-1]
+	var out []PriorAblationResult
+	for _, formula := range []prior.Formula{prior.PaperFormula, prior.FullLikelihood} {
+		c := cfg
+		c.PriorOptions.Formula = formula
+		d, err := dataset.Build(name, c)
+		if err != nil {
+			return nil, err
+		}
+		insts, err := d.Generate(dur, p.Trajectories, p.Stream)
+		if err != nil {
+			return nil, err
+		}
+		res := PriorAblationResult{Dataset: name, Formula: formula, Duration: dur}
+		var stay, rawStay, cands []float64
+		rng := stats.NewRNG(1)
+		for _, inst := range insts {
+			ls, err := d.Prior.LSequence(inst.Readings)
+			if err != nil {
+				return nil, err
+			}
+			for _, step := range ls.Steps {
+				cands = append(cands, float64(len(step.Candidates)))
+			}
+			g, err := core.Build(ls, d.Constraints(dataset.SelDULT), &core.Options{EndLatency: p.Mode})
+			if errors.Is(err, core.ErrNoValidTrajectory) {
+				res.Skipped++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			eng := query.NewEngine(g, d.Plan.NumLocations())
+			truth := inst.Truth.Locations()
+			for q := 0; q < p.StayQueries; q++ {
+				tau := rng.Intn(dur)
+				dist, err := eng.Stay(tau)
+				if err != nil {
+					return nil, err
+				}
+				stay = append(stay, query.StayAccuracy(dist, truth[tau]))
+				rawStay = append(rawStay, query.StayAccuracy(d.Prior.Dist(inst.Readings[tau].Readers), truth[tau]))
+			}
+		}
+		res.Stay = stats.Mean(stay)
+		res.Prior = stats.Mean(rawStay)
+		res.Cands = stats.Mean(cands)
+		res.Queries = len(stay)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PriorAblationTable renders ablation A1.
+func PriorAblationTable(results []PriorAblationResult) *Table {
+	t := &Table{
+		Title:  "Ablation A1 — prior formula (cleaned with DU+LT)",
+		Header: []string{"dataset", "formula", "stay acc", "raw prior acc", "mean candidates/step", "queries"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, r.Formula.String(),
+			fmt.Sprintf("%.4f", r.Stay),
+			fmt.Sprintf("%.4f", r.Prior),
+			fmt.Sprintf("%.2f", r.Cands),
+			fmt.Sprintf("%d", r.Queries),
+		})
+	}
+	return t
+}
+
+// EndLatencyAblationResult compares the strict (Definition 2) and lenient
+// (Algorithm 1 as printed) end-of-window semantics (ablation A2).
+type EndLatencyAblationResult struct {
+	Dataset      string
+	Mode         constraints.EndLatencyMode
+	MeanSeconds  float64
+	MeanNodes    float64
+	Inconsistent int // instances whose readings admit no valid trajectory
+	Trajectories int
+}
+
+// EndLatencyAblation builds DU+LT graphs under both end-of-window modes.
+func EndLatencyAblation(d *dataset.Dataset, p Params) ([]EndLatencyAblationResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	dur := p.Durations[len(p.Durations)-1]
+	insts, err := d.Generate(dur, p.Trajectories, p.Stream)
+	if err != nil {
+		return nil, err
+	}
+	var out []EndLatencyAblationResult
+	for _, mode := range []constraints.EndLatencyMode{constraints.StrictEnd, constraints.LenientEnd} {
+		res := EndLatencyAblationResult{Dataset: d.Name, Mode: mode, Trajectories: len(insts)}
+		var secs, nodes []float64
+		for _, inst := range insts {
+			start := time.Now()
+			g, err := buildGraph(d, inst, dataset.SelDULT, mode)
+			if errors.Is(err, core.ErrNoValidTrajectory) {
+				res.Inconsistent++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			secs = append(secs, time.Since(start).Seconds())
+			nodes = append(nodes, float64(g.Stats().Nodes))
+		}
+		res.MeanSeconds = stats.Mean(secs)
+		res.MeanNodes = stats.Mean(nodes)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// EndLatencyAblationTable renders ablation A2.
+func EndLatencyAblationTable(results []EndLatencyAblationResult) *Table {
+	t := &Table{
+		Title:  "Ablation A2 — end-of-window latency semantics (DU+LT)",
+		Header: []string{"dataset", "mode", "mean time(s)", "mean nodes", "inconsistent/total"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, r.Mode.String(),
+			fmt.Sprintf("%.4f", r.MeanSeconds),
+			fmt.Sprintf("%.0f", r.MeanNodes),
+			fmt.Sprintf("%d/%d", r.Inconsistent, r.Trajectories),
+		})
+	}
+	return t
+}
+
+// MinProbAblationResult measures candidate pruning (ablation A3).
+type MinProbAblationResult struct {
+	Dataset     string
+	MinProb     float64
+	MeanSeconds float64
+	MeanNodes   float64
+	Stay        float64
+	Skipped     int
+}
+
+// MinProbAblation compares exact candidate sets against ε-pruned ones under
+// DU+LT+TT, where the graph size is most sensitive to ambiguity.
+func MinProbAblation(cfg dataset.Config, name string, p Params, thresholds []float64) ([]MinProbAblationResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	dur := p.Durations[len(p.Durations)-1]
+	var out []MinProbAblationResult
+	for _, th := range thresholds {
+		c := cfg
+		c.PriorOptions.MinProb = th
+		d, err := dataset.Build(name, c)
+		if err != nil {
+			return nil, err
+		}
+		insts, err := d.Generate(dur, p.Trajectories, p.Stream)
+		if err != nil {
+			return nil, err
+		}
+		res := MinProbAblationResult{Dataset: name, MinProb: th}
+		var secs, nodes, stay []float64
+		rng := stats.NewRNG(3)
+		for _, inst := range insts {
+			start := time.Now()
+			g, err := buildGraph(d, inst, dataset.SelDULTTT, p.Mode)
+			if errors.Is(err, core.ErrNoValidTrajectory) {
+				res.Skipped++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			secs = append(secs, time.Since(start).Seconds())
+			nodes = append(nodes, float64(g.Stats().Nodes))
+			eng := query.NewEngine(g, d.Plan.NumLocations())
+			truth := inst.Truth.Locations()
+			for q := 0; q < p.StayQueries; q++ {
+				tau := rng.Intn(dur)
+				dist, err := eng.Stay(tau)
+				if err != nil {
+					return nil, err
+				}
+				stay = append(stay, query.StayAccuracy(dist, truth[tau]))
+			}
+		}
+		res.MeanSeconds = stats.Mean(secs)
+		res.MeanNodes = stats.Mean(nodes)
+		res.Stay = stats.Mean(stay)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// MinProbAblationTable renders ablation A3.
+func MinProbAblationTable(results []MinProbAblationResult) *Table {
+	t := &Table{
+		Title:  "Ablation A3 — candidate pruning threshold (DU+LT+TT)",
+		Header: []string{"dataset", "min prob", "mean time(s)", "mean nodes", "stay acc", "skipped"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%.3f", r.MinProb),
+			fmt.Sprintf("%.4f", r.MeanSeconds),
+			fmt.Sprintf("%.0f", r.MeanNodes),
+			fmt.Sprintf("%.4f", r.Stay),
+			fmt.Sprintf("%d", r.Skipped),
+		})
+	}
+	return t
+}
+
+// OracleAblationResult compares the naive enumeration baseline against the
+// ct-graph on short windows (ablation A4 — the introduction's infeasibility
+// argument, measured).
+type OracleAblationResult struct {
+	Dataset       string
+	Duration      int
+	GraphSeconds  float64
+	OracleSeconds float64
+	OracleBlewUp  int // instances where enumeration exceeded the budget
+	Trajectories  int
+}
+
+// OracleVsCTGraph measures both conditioners on short prefixes of real
+// reading sequences under DU+LT constraints. The enumeration budget keeps
+// the oracle from running forever; blow-ups are counted, not waited for.
+func OracleVsCTGraph(d *dataset.Dataset, durations []int, trajectories, budget int, mode constraints.EndLatencyMode) ([]OracleAblationResult, error) {
+	if len(durations) == 0 || trajectories <= 0 {
+		return nil, fmt.Errorf("experiment: empty oracle ablation")
+	}
+	var out []OracleAblationResult
+	for _, dur := range durations {
+		insts, err := d.Generate(dur, trajectories, 11)
+		if err != nil {
+			return nil, err
+		}
+		res := OracleAblationResult{Dataset: d.Name, Duration: dur, Trajectories: len(insts)}
+		var gs, os []float64
+		ic := d.Constraints(dataset.SelDULT)
+		for _, inst := range insts {
+			ls, err := d.Prior.LSequence(inst.Readings)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			_, gErr := core.Build(ls, ic, &core.Options{EndLatency: mode})
+			gTime := time.Since(start).Seconds()
+
+			start = time.Now()
+			_, oErr := core.EnumerateConditioned(ls, ic, mode, budget)
+			oTime := time.Since(start).Seconds()
+
+			switch {
+			case oErr == nil && gErr == nil:
+				gs = append(gs, gTime)
+				os = append(os, oTime)
+			case errors.Is(oErr, core.ErrNoValidTrajectory) && errors.Is(gErr, core.ErrNoValidTrajectory):
+				// Both agree the readings are inconsistent.
+			case oErr != nil && !errors.Is(oErr, core.ErrNoValidTrajectory):
+				res.OracleBlewUp++
+			default:
+				return nil, fmt.Errorf("experiment: oracle and ct-graph disagree: %v vs %v", oErr, gErr)
+			}
+		}
+		res.GraphSeconds = stats.Mean(gs)
+		res.OracleSeconds = stats.Mean(os)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// OracleAblationTable renders ablation A4.
+func OracleAblationTable(results []OracleAblationResult) *Table {
+	t := &Table{
+		Title:  "Ablation A4 — naive enumeration vs ct-graph (DU+LT)",
+		Header: []string{"dataset", "duration(s)", "ct-graph time(s)", "oracle time(s)", "oracle blow-ups"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%d", r.Duration),
+			fmt.Sprintf("%.5f", r.GraphSeconds),
+			fmt.Sprintf("%.5f", r.OracleSeconds),
+			fmt.Sprintf("%d/%d", r.OracleBlewUp, r.Trajectories),
+		})
+	}
+	return t
+}

@@ -1,0 +1,267 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// AccuracyResult aggregates query-answer accuracy for one (dataset,
+// constraint set) pair, the quantity of Fig. 9(a) and 9(b). PriorStay is
+// the baseline the introduction motivates against: answering stay queries
+// straight from the unconditioned p*(l|R).
+type AccuracyResult struct {
+	Dataset   string
+	Selection dataset.Selection
+
+	Stay      float64 // mean stay-query accuracy over cleaned data
+	PriorStay float64 // mean stay-query accuracy of the unconditioned prior
+	Traj      float64 // mean trajectory-query accuracy over cleaned data
+
+	StayQueries int
+	TrajQueries int
+	Skipped     int
+}
+
+// Accuracy measures average stay- and trajectory-query accuracy (§6.6): for
+// each trajectory, StayQueries random time points and TrajQueries random
+// patterns are evaluated over the cleaned data, and the probabilistic
+// answers are scored against the ground truth trajectory.
+func Accuracy(d *dataset.Dataset, p Params) ([]AccuracyResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	byLen, err := accuracyRun(d, p)
+	if err != nil {
+		return nil, err
+	}
+	return byLen.overall, nil
+}
+
+// AccuracyByQueryLength measures trajectory-query accuracy grouped by the
+// number of location anchors in the pattern (2, 3 or 4) — Fig. 9(c).
+type AccuracyByLength struct {
+	Dataset   string
+	Selection dataset.Selection
+	Anchors   int
+	Traj      float64
+	Queries   int
+}
+
+// AccuracyWithLengths runs the accuracy workload and returns both the
+// overall results (Fig. 9(a)/(b)) and the per-query-length breakdown
+// (Fig. 9(c)).
+func AccuracyWithLengths(d *dataset.Dataset, p Params) ([]AccuracyResult, []AccuracyByLength, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	r, err := accuracyRun(d, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.overall, r.byLength, nil
+}
+
+type accuracyAgg struct {
+	overall  []AccuracyResult
+	byLength []AccuracyByLength
+}
+
+// accuracyJob is the unit of parallel work: one instance under one
+// constraint selection.
+type accuracyJob struct {
+	sel  dataset.Selection
+	dur  int
+	idx  int // instance index within its duration batch
+	inst dataset.Instance
+	slot *accuracyPartial
+}
+
+// accuracyPartial collects one job's measurements; jobs never share slots,
+// and slots are reduced in deterministic order afterwards.
+type accuracyPartial struct {
+	stay, priorStay, traj []float64
+	trajByLen             map[int][]float64
+	skipped               bool
+	err                   error
+}
+
+func accuracyRun(d *dataset.Dataset, p Params) (*accuracyAgg, error) {
+	locIDs := allLocationIDs(d)
+
+	// Materialize every job up front with its own slot and seed.
+	var jobs []*accuracyJob
+	for _, sel := range dataset.Selections {
+		for _, dur := range p.Durations {
+			insts, err := d.Generate(dur, p.Trajectories, p.Stream)
+			if err != nil {
+				return nil, err
+			}
+			for i, inst := range insts {
+				jobs = append(jobs, &accuracyJob{
+					sel: sel, dur: dur, idx: i, inst: inst,
+					slot: &accuracyPartial{trajByLen: map[int][]float64{}},
+				})
+			}
+		}
+	}
+
+	run := func(j *accuracyJob) {
+		// One deterministic stream per (selection, duration, instance).
+		rng := stats.NewRNG(d.Config.Seed ^ 0xACC ^ uint64(j.dur)<<20 ^ uint64(j.sel)<<4 ^ uint64(j.idx))
+		g, err := buildGraph(d, j.inst, j.sel, p.Mode)
+		if errors.Is(err, core.ErrNoValidTrajectory) {
+			j.slot.skipped = true
+			return
+		}
+		if err != nil {
+			j.slot.err = err
+			return
+		}
+		eng := query.NewEngine(g, d.Plan.NumLocations())
+		truth := j.inst.Truth.Locations()
+		for q := 0; q < p.StayQueries; q++ {
+			tau := rng.Intn(j.dur)
+			dist, err := eng.Stay(tau)
+			if err != nil {
+				j.slot.err = err
+				return
+			}
+			j.slot.stay = append(j.slot.stay, query.StayAccuracy(dist, truth[tau]))
+			pd := d.Prior.Dist(j.inst.Readings[tau].Readers)
+			j.slot.priorStay = append(j.slot.priorStay, query.StayAccuracy(pd, truth[tau]))
+		}
+		for q := 0; q < p.TrajQueries; q++ {
+			anchors := rng.IntRange(2, 4)
+			pat := query.RandomPattern(rng, locIDs, anchors)
+			pYes, err := eng.Trajectory(pat)
+			if err != nil {
+				j.slot.err = err
+				return
+			}
+			truthYes, err := query.Matches(pat, truth)
+			if err != nil {
+				j.slot.err = err
+				return
+			}
+			acc := query.TrajectoryAccuracy(pYes, truthYes)
+			j.slot.traj = append(j.slot.traj, acc)
+			j.slot.trajByLen[anchors] = append(j.slot.trajByLen[anchors], acc)
+		}
+	}
+	runJobs(jobs, p.workers(), run)
+
+	// Deterministic reduction in job order.
+	agg := &accuracyAgg{}
+	i := 0
+	for _, sel := range dataset.Selections {
+		res := AccuracyResult{Dataset: d.Name, Selection: sel}
+		var stay, priorStay, traj []float64
+		trajByLen := map[int][]float64{}
+		for range p.Durations {
+			for k := 0; k < p.Trajectories; k++ {
+				slot := jobs[i].slot
+				i++
+				if slot.err != nil {
+					return nil, slot.err
+				}
+				if slot.skipped {
+					res.Skipped++
+					continue
+				}
+				stay = append(stay, slot.stay...)
+				priorStay = append(priorStay, slot.priorStay...)
+				traj = append(traj, slot.traj...)
+				for anchors, accs := range slot.trajByLen {
+					trajByLen[anchors] = append(trajByLen[anchors], accs...)
+				}
+			}
+		}
+		res.Stay = stats.Mean(stay)
+		res.PriorStay = stats.Mean(priorStay)
+		res.Traj = stats.Mean(traj)
+		res.StayQueries = len(stay)
+		res.TrajQueries = len(traj)
+		agg.overall = append(agg.overall, res)
+		for anchors := 2; anchors <= 4; anchors++ {
+			agg.byLength = append(agg.byLength, AccuracyByLength{
+				Dataset: d.Name, Selection: sel, Anchors: anchors,
+				Traj:    stats.Mean(trajByLen[anchors]),
+				Queries: len(trajByLen[anchors]),
+			})
+		}
+	}
+	return agg, nil
+}
+
+// runJobs fans the jobs out over a bounded worker pool.
+func runJobs(jobs []*accuracyJob, workers int, run func(*accuracyJob)) {
+	if workers <= 1 || len(jobs) <= 1 {
+		for _, j := range jobs {
+			run(j)
+		}
+		return
+	}
+	ch := make(chan *accuracyJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				run(j)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// AccuracyTable renders Fig. 9(a) (stay queries) and 9(b) (trajectory
+// queries) side by side, with the unconditioned prior as the baseline.
+func AccuracyTable(results []AccuracyResult) *Table {
+	t := &Table{
+		Title: "Fig. 9(a)/(b) — average query-answer accuracy",
+		Header: []string{"dataset", "constraints", "stay acc", "prior stay acc (baseline)",
+			"trajectory acc", "queries", "skipped"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			"CTG(" + r.Selection.String() + ")",
+			fmt.Sprintf("%.4f", r.Stay),
+			fmt.Sprintf("%.4f", r.PriorStay),
+			fmt.Sprintf("%.4f", r.Traj),
+			fmt.Sprintf("%d+%d", r.StayQueries, r.TrajQueries),
+			fmt.Sprintf("%d", r.Skipped),
+		})
+	}
+	return t
+}
+
+// AccuracyByLengthTable renders Fig. 9(c): trajectory-query accuracy vs the
+// number of anchors in the pattern.
+func AccuracyByLengthTable(results []AccuracyByLength) *Table {
+	t := &Table{
+		Title:  "Fig. 9(c) — trajectory-query accuracy vs query length",
+		Header: []string{"dataset", "constraints", "anchors", "trajectory acc", "queries"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			"CTG(" + r.Selection.String() + ")",
+			fmt.Sprintf("%d", r.Anchors),
+			fmt.Sprintf("%.4f", r.Traj),
+			fmt.Sprintf("%d", r.Queries),
+		})
+	}
+	return t
+}

@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/smurf"
+	"repro/internal/stats"
+)
+
+// BaselineResult compares the cleaning approaches on stay-query accuracy:
+// the raw prior (no cleaning), the SMURF-style per-reader smoothing baseline
+// of the related work (§7), and the paper's conditioning under increasing
+// constraint sets.
+type BaselineResult struct {
+	Dataset string
+	Method  string
+	// Stay is the mean probability assigned to the true location.
+	Stay float64
+	// Top1 is the fraction of queries whose argmax location is correct.
+	Top1    float64
+	Queries int
+	Skipped int
+}
+
+// BaselineComparison runs the same stay-query workload through every
+// cleaning method. SMURF smooths each reader's detection stream and then
+// interprets the smoothed readings independently per timestamp through
+// p*(l|R) — it repairs false negatives but cannot exploit the map or
+// motility constraints, which is exactly the gap the paper's approach fills.
+func BaselineComparison(d *dataset.Dataset, p Params) ([]BaselineResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	readerIDs := make([]int, len(d.Readers))
+	for i, r := range d.Readers {
+		readerIDs[i] = r.ID
+	}
+
+	type method struct {
+		name string
+		run  func(inst dataset.Instance, rng *stats.RNG, stay, top1 *[]float64) error
+	}
+
+	// stayFromDist scores one query against a per-timestamp distribution.
+	score := func(dist []float64, truth int, stay, top1 *[]float64) {
+		*stay = append(*stay, query.StayAccuracy(dist, truth))
+		best, bestP := -1, -1.0
+		for loc, pr := range dist {
+			if pr > bestP {
+				best, bestP = loc, pr
+			}
+		}
+		hit := 0.0
+		if best == truth {
+			hit = 1
+		}
+		*top1 = append(*top1, hit)
+	}
+
+	methods := []method{
+		{name: "prior (no cleaning)", run: func(inst dataset.Instance, rng *stats.RNG, stay, top1 *[]float64) error {
+			truth := inst.Truth.Locations()
+			for q := 0; q < p.StayQueries; q++ {
+				tau := rng.Intn(inst.Truth.Duration())
+				score(d.Prior.Dist(inst.Readings[tau].Readers), truth[tau], stay, top1)
+			}
+			return nil
+		}},
+		{name: "SMURF + prior", run: func(inst dataset.Instance, rng *stats.RNG, stay, top1 *[]float64) error {
+			smoothed, err := smurf.Smooth(inst.Readings, readerIDs, smurf.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			truth := inst.Truth.Locations()
+			for q := 0; q < p.StayQueries; q++ {
+				tau := rng.Intn(inst.Truth.Duration())
+				score(d.Prior.Dist(smoothed[tau].Readers), truth[tau], stay, top1)
+			}
+			return nil
+		}},
+	}
+	for _, sel := range dataset.Selections {
+		sel := sel
+		methods = append(methods, method{
+			name: "CTG(" + sel.String() + ")",
+			run: func(inst dataset.Instance, rng *stats.RNG, stay, top1 *[]float64) error {
+				g, err := buildGraph(d, inst, sel, p.Mode)
+				if err != nil {
+					return err
+				}
+				eng := query.NewEngine(g, d.Plan.NumLocations())
+				truth := inst.Truth.Locations()
+				for q := 0; q < p.StayQueries; q++ {
+					tau := rng.Intn(inst.Truth.Duration())
+					dist, err := eng.Stay(tau)
+					if err != nil {
+						return err
+					}
+					score(dist, truth[tau], stay, top1)
+				}
+				return nil
+			},
+		})
+	}
+
+	var out []BaselineResult
+	for _, m := range methods {
+		res := BaselineResult{Dataset: d.Name, Method: m.name}
+		var stay, top1 []float64
+		for _, dur := range p.Durations {
+			insts, err := d.Generate(dur, p.Trajectories, p.Stream)
+			if err != nil {
+				return nil, err
+			}
+			rng := stats.NewRNG(d.Config.Seed ^ 0xBA5E ^ uint64(dur))
+			for _, inst := range insts {
+				err := m.run(inst, rng, &stay, &top1)
+				if errors.Is(err, core.ErrNoValidTrajectory) {
+					res.Skipped++
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Stay = stats.Mean(stay)
+		res.Top1 = stats.Mean(top1)
+		res.Queries = len(stay)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// BaselineTable renders the baseline comparison.
+func BaselineTable(results []BaselineResult) *Table {
+	t := &Table{
+		Title:  "Baseline comparison — stay-query accuracy by cleaning method",
+		Header: []string{"dataset", "method", "stay acc", "top-1 acc", "queries", "skipped"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, r.Method,
+			fmt.Sprintf("%.4f", r.Stay),
+			fmt.Sprintf("%.4f", r.Top1),
+			fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%d", r.Skipped),
+		})
+	}
+	return t
+}

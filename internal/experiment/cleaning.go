@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// CleaningResult is one point of Fig. 8(a)/8(b): the average cleaning time
+// for one (dataset, constraint set, duration) combination, plus the graph
+// sizes §6.7 reports.
+type CleaningResult struct {
+	Dataset   string
+	Selection dataset.Selection
+	Duration  int // timestamps
+
+	Trajectories int
+	Skipped      int // instances where cleaning found no valid trajectory
+
+	MeanSeconds float64
+	MeanNodes   float64
+	MeanEdges   float64
+	MeanBytes   float64
+}
+
+// CleaningCost measures the average running time of the ct-graph
+// construction (CTG in the paper's notation) over the dataset, for every
+// constraint set and duration — the workload of Fig. 8(a) and 8(b). The
+// same measurements yield the ct-graph sizes of §6.7.
+func CleaningCost(d *dataset.Dataset, p Params) ([]CleaningResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	var out []CleaningResult
+	for _, dur := range p.Durations {
+		insts, err := d.Generate(dur, p.Trajectories, p.Stream)
+		if err != nil {
+			return nil, err
+		}
+		for _, sel := range dataset.Selections {
+			res := CleaningResult{
+				Dataset: d.Name, Selection: sel, Duration: dur,
+				Trajectories: len(insts),
+			}
+			var secs, nodes, edges, bytes []float64
+			for _, inst := range insts {
+				start := time.Now()
+				g, err := buildGraph(d, inst, sel, p.Mode)
+				if errors.Is(err, core.ErrNoValidTrajectory) {
+					res.Skipped++
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+				secs = append(secs, time.Since(start).Seconds())
+				st := g.Stats()
+				nodes = append(nodes, float64(st.Nodes))
+				edges = append(edges, float64(st.Edges))
+				bytes = append(bytes, float64(st.Bytes))
+			}
+			res.MeanSeconds = stats.Mean(secs)
+			res.MeanNodes = stats.Mean(nodes)
+			res.MeanEdges = stats.Mean(edges)
+			res.MeanBytes = stats.Mean(bytes)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// CleaningTable renders cleaning-cost results as the series of Fig. 8(a)/(b).
+func CleaningTable(results []CleaningResult) *Table {
+	t := &Table{
+		Title:  "Fig. 8(a)/(b) — average cleaning time (seconds) vs trajectory duration",
+		Header: []string{"dataset", "constraints", "duration(s)", "mean time(s)", "nodes", "edges", "size(MB)", "skipped"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			"CTG(" + r.Selection.String() + ")",
+			fmt.Sprintf("%d", r.Duration),
+			fmt.Sprintf("%.4f", r.MeanSeconds),
+			fmt.Sprintf("%.0f", r.MeanNodes),
+			fmt.Sprintf("%.0f", r.MeanEdges),
+			fmt.Sprintf("%.2f", r.MeanBytes/1e6),
+			fmt.Sprintf("%d", r.Skipped),
+		})
+	}
+	return t
+}
+
+// GraphSizeTable renders the §6.7 comparison: ct-graph memory for the
+// longest duration under DU-only vs all constraints.
+func GraphSizeTable(results []CleaningResult) *Table {
+	t := &Table{
+		Title:  "§6.7 — ct-graph size at the longest duration",
+		Header: []string{"dataset", "constraints", "duration(s)", "size(MB)", "nodes"},
+	}
+	maxDur := 0
+	for _, r := range results {
+		if r.Duration > maxDur {
+			maxDur = r.Duration
+		}
+	}
+	for _, r := range results {
+		if r.Duration != maxDur {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			"CTG(" + r.Selection.String() + ")",
+			fmt.Sprintf("%d", r.Duration),
+			fmt.Sprintf("%.3f", r.MeanBytes/1e6),
+			fmt.Sprintf("%.0f", r.MeanNodes),
+		})
+	}
+	return t
+}
+
+// QueryCostResult is one point of Fig. 8(c): average query execution time
+// over cleaned data.
+type QueryCostResult struct {
+	Dataset   string
+	Selection dataset.Selection
+	Duration  int
+
+	MeanStaySeconds float64
+	MeanTrajSeconds float64
+	Skipped         int
+}
+
+// QueryCost measures average stay- and trajectory-query times over the
+// ct-graphs built from the dataset (Fig. 8(c)). Query workloads follow
+// §6.6: random time points for stay queries, random 2-4 anchor patterns for
+// trajectory queries.
+func QueryCost(d *dataset.Dataset, p Params) ([]QueryCostResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	locIDs := allLocationIDs(d)
+	var out []QueryCostResult
+	for _, dur := range p.Durations {
+		insts, err := d.Generate(dur, p.Trajectories, p.Stream)
+		if err != nil {
+			return nil, err
+		}
+		for _, sel := range dataset.Selections {
+			res := QueryCostResult{Dataset: d.Name, Selection: sel, Duration: dur}
+			var staySecs, trajSecs []float64
+			rng := stats.NewRNG(d.Config.Seed ^ uint64(dur)<<16 ^ uint64(sel))
+			for _, inst := range insts {
+				g, err := buildGraph(d, inst, sel, p.Mode)
+				if errors.Is(err, core.ErrNoValidTrajectory) {
+					res.Skipped++
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+				eng := query.NewEngine(g, d.Plan.NumLocations())
+				start := time.Now()
+				for q := 0; q < p.StayQueries; q++ {
+					if _, err := eng.Stay(rng.Intn(dur)); err != nil {
+						return nil, err
+					}
+				}
+				staySecs = append(staySecs, time.Since(start).Seconds()/float64(p.StayQueries))
+
+				start = time.Now()
+				for q := 0; q < p.TrajQueries; q++ {
+					pat := query.RandomPattern(rng, locIDs, rng.IntRange(2, 4))
+					if _, err := eng.Trajectory(pat); err != nil {
+						return nil, err
+					}
+				}
+				trajSecs = append(trajSecs, time.Since(start).Seconds()/float64(p.TrajQueries))
+			}
+			res.MeanStaySeconds = stats.Mean(staySecs)
+			res.MeanTrajSeconds = stats.Mean(trajSecs)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// QueryCostTable renders query-cost results (Fig. 8(c)).
+func QueryCostTable(results []QueryCostResult) *Table {
+	t := &Table{
+		Title:  "Fig. 8(c) — average query time (seconds) vs trajectory duration",
+		Header: []string{"dataset", "constraints", "duration(s)", "stay query(s)", "trajectory query(s)", "skipped"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			"CTG(" + r.Selection.String() + ")",
+			fmt.Sprintf("%d", r.Duration),
+			fmt.Sprintf("%.6f", r.MeanStaySeconds),
+			fmt.Sprintf("%.6f", r.MeanTrajSeconds),
+			fmt.Sprintf("%d", r.Skipped),
+		})
+	}
+	return t
+}
+
+func allLocationIDs(d *dataset.Dataset) []int {
+	ids := make([]int, d.Plan.NumLocations())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// MapSizeResult is one point of ablation A5: the effect of the map size on
+// CTG(DU+LT+TT) when TT horizons are NOT capped — §6.5's third observation
+// ("the larger the map, the longer the maximum duration of the generated TT
+// constraints ... this may increase the number of location nodes").
+type MapSizeResult struct {
+	Dataset     string
+	TTCap       int // 0 = uncapped, as in the paper
+	Duration    int
+	MeanSeconds float64
+	MeanNodes   float64
+	MaxTT       int // largest inferred TT horizon
+	Skipped     int
+}
+
+// MapSizeAblation builds SYN1 and SYN2 with the given TT caps (0 reproduces
+// the paper's uncapped inference) and measures CTG(DU+LT+TT) cleaning cost
+// at the given duration. It demonstrates both the paper's map-size effect
+// (uncapped: the 8-floor SYN2 is far more expensive than the 4-floor SYN1)
+// and the engineering trade-off the TTCap knob buys back.
+func MapSizeAblation(duration, trajectories int, ttCaps []int) ([]MapSizeResult, error) {
+	if duration <= 0 || trajectories <= 0 || len(ttCaps) == 0 {
+		return nil, fmt.Errorf("experiment: empty map-size ablation")
+	}
+	var out []MapSizeResult
+	for _, cap := range ttCaps {
+		for _, name := range []string{"SYN1", "SYN2"} {
+			cfg, err := dataset.ConfigByName(name)
+			if err != nil {
+				return nil, err
+			}
+			cfg.TTCap = cap
+			d, err := dataset.Build(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			insts, err := d.Generate(duration, trajectories, 21)
+			if err != nil {
+				return nil, err
+			}
+			res := MapSizeResult{Dataset: name, TTCap: cap, Duration: duration}
+			ic := d.Constraints(dataset.SelDULTTT)
+			for loc := 0; loc < d.Plan.NumLocations(); loc++ {
+				if m := ic.MaxTravelingTime(loc); m > res.MaxTT {
+					res.MaxTT = m
+				}
+			}
+			var secs, nodes []float64
+			for _, inst := range insts {
+				ls, err := d.Prior.LSequence(inst.Readings)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				g, err := core.Build(ls, ic, nil)
+				if errors.Is(err, core.ErrNoValidTrajectory) {
+					res.Skipped++
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+				secs = append(secs, time.Since(start).Seconds())
+				nodes = append(nodes, float64(g.Stats().Nodes))
+			}
+			res.MeanSeconds = stats.Mean(secs)
+			res.MeanNodes = stats.Mean(nodes)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// MapSizeTable renders ablation A5.
+func MapSizeTable(results []MapSizeResult) *Table {
+	t := &Table{
+		Title:  "Ablation A5 — map size vs CTG(DU+LT+TT) cost (§6.5's observation; TT cap 0 = the paper's uncapped inference)",
+		Header: []string{"dataset", "TT cap", "max TT horizon", "duration(s)", "mean time(s)", "mean nodes", "skipped"},
+	}
+	for _, r := range results {
+		cap := fmt.Sprintf("%d", r.TTCap)
+		if r.TTCap == 0 {
+			cap = "uncapped"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, cap,
+			fmt.Sprintf("%d", r.MaxTT),
+			fmt.Sprintf("%d", r.Duration),
+			fmt.Sprintf("%.4f", r.MeanSeconds),
+			fmt.Sprintf("%.0f", r.MeanNodes),
+			fmt.Sprintf("%d", r.Skipped),
+		})
+	}
+	return t
+}

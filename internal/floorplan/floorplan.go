@@ -1,0 +1,519 @@
+// Package floorplan models the maps of locations the paper's framework
+// reasons about: multi-floor buildings made of axis-aligned rectangular
+// locations (rooms, corridors, stairwells) connected by doors and stairs.
+//
+// The package answers the two questions the cleaning framework asks of a map
+// (§3, §6.3 and footnote 1 of the paper):
+//
+//   - which pairs of locations are directly connected (the complement yields
+//     the direct-unreachability constraints), and
+//   - what is the minimum walking distance between two locations (which,
+//     divided by the objects' maximum speed, yields the traveling-time
+//     constraints).
+//
+// It also supplies the physical detail needed by the RFID substrate and the
+// synthetic generator: wall segments (for signal attenuation), door passage
+// points (for movement), and point-in-location tests (for ground truth).
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Kind classifies a location.
+type Kind int
+
+// Location kinds.
+const (
+	Room Kind = iota
+	Corridor
+	Stairwell
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Room:
+		return "room"
+	case Corridor:
+		return "corridor"
+	case Stairwell:
+		return "stairwell"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Location is one of the places an object may be at a time point. Locations
+// are axis-aligned rectangles on a floor; because they are convex, the
+// shortest path between two points inside a location is the straight line, a
+// property the walking-distance computation relies on.
+type Location struct {
+	ID     int       `json:"id"`   // dense index into Plan.Locations
+	Name   string    `json:"name"` // human-readable, unique within the plan
+	Kind   Kind      `json:"kind"`
+	Floor  int       `json:"floor"`
+	Bounds geom.Rect `json:"bounds"`
+}
+
+// Door is a passage between two locations. For a same-floor door, PosA and
+// PosB coincide: the point on the shared wall. For stairs between floors the
+// positions differ and ExtraLength accounts for the stair run itself.
+type Door struct {
+	ID          int        `json:"id"`
+	LocA        int        `json:"locA"`
+	LocB        int        `json:"locB"`
+	PosA        geom.Point `json:"posA"`
+	PosB        geom.Point `json:"posB"`
+	Width       float64    `json:"width"`       // opening width in meters (same-floor doors)
+	ExtraLength float64    `json:"extraLength"` // additional walking length when crossing (stairs)
+}
+
+// Other returns the location on the other side of the door from loc, or -1
+// when loc is not an endpoint of the door.
+func (d Door) Other(loc int) int {
+	switch loc {
+	case d.LocA:
+		return d.LocB
+	case d.LocB:
+		return d.LocA
+	default:
+		return -1
+	}
+}
+
+// PosIn returns the door's passage point inside location loc.
+func (d Door) PosIn(loc int) geom.Point {
+	if loc == d.LocB {
+		return d.PosB
+	}
+	return d.PosA
+}
+
+// Wall is an opaque wall segment on a floor. Walls attenuate RFID signals
+// and block movement.
+type Wall struct {
+	Floor int          `json:"floor"`
+	Seg   geom.Segment `json:"seg"`
+}
+
+// Plan is an immutable multi-floor building map. Construct one with a
+// Builder; the zero value is an empty, useless plan.
+type Plan struct {
+	locations []Location
+	doors     []Door
+	walls     []Wall
+	floors    int
+	outline   geom.Rect // outline of a single floor (all floors share it)
+
+	doorsByLoc [][]int // location ID -> door IDs
+
+	distOnce bool
+	dist     [][]float64 // all-pairs minimum walking distance, meters
+}
+
+// NumLocations returns the number of locations in the plan.
+func (p *Plan) NumLocations() int { return len(p.locations) }
+
+// NumFloors returns the number of floors.
+func (p *Plan) NumFloors() int { return p.floors }
+
+// Outline returns the rectangle every floor of the building fits in.
+func (p *Plan) Outline() geom.Rect { return p.outline }
+
+// Location returns the location with the given ID.
+func (p *Plan) Location(id int) Location { return p.locations[id] }
+
+// Locations returns all locations. The returned slice must not be modified.
+func (p *Plan) Locations() []Location { return p.locations }
+
+// Doors returns all doors. The returned slice must not be modified.
+func (p *Plan) Doors() []Door { return p.doors }
+
+// Walls returns all wall segments. The returned slice must not be modified.
+func (p *Plan) Walls() []Wall { return p.walls }
+
+// DoorsOf returns the IDs of the doors of location loc. The returned slice
+// must not be modified.
+func (p *Plan) DoorsOf(loc int) []int { return p.doorsByLoc[loc] }
+
+// Door returns the door with the given ID.
+func (p *Plan) Door(id int) Door { return p.doors[id] }
+
+// LocationByName returns the location with the given name.
+func (p *Plan) LocationByName(name string) (Location, bool) {
+	for _, l := range p.locations {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Location{}, false
+}
+
+// LocationAt returns the ID of the location on the given floor containing
+// point pt, or -1 when the point lies in no location (inside a wall or
+// outside the building).
+func (p *Plan) LocationAt(floor int, pt geom.Point) int {
+	best := -1
+	for _, l := range p.locations {
+		if l.Floor != floor {
+			continue
+		}
+		if l.Bounds.ContainsStrict(pt) {
+			return l.ID
+		}
+		if best == -1 && l.Bounds.Contains(pt) {
+			best = l.ID // boundary point: remember, prefer strict containment
+		}
+	}
+	return best
+}
+
+// DirectlyConnected reports whether locations a and b share a door, or a ==
+// b. It is the complement of the paper's direct-unreachability relation.
+func (p *Plan) DirectlyConnected(a, b int) bool {
+	if a == b {
+		return true
+	}
+	for _, did := range p.doorsByLoc[a] {
+		if p.doors[did].Other(a) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// WallsBetween counts the wall segments crossed by the straight segment from
+// a to b on the given floor. It is used by the RFID substrate to attenuate
+// signal strength through walls.
+func (p *Plan) WallsBetween(floor int, a, b geom.Point) int {
+	ray := geom.Seg(a, b)
+	n := 0
+	for _, w := range p.walls {
+		if w.Floor != floor {
+			continue
+		}
+		if ray.Intersects(w.Seg) {
+			n++
+		}
+	}
+	return n
+}
+
+// MinWalkDistance returns the minimum walking distance in meters between
+// locations a and b: the length of the shortest door-to-door path from the
+// boundary of a to the boundary of b, walking straight lines inside
+// (rectangular, hence convex) locations and climbing stairs at their extra
+// length. Directly connected locations have distance 0. It returns +Inf when
+// no path exists.
+func (p *Plan) MinWalkDistance(a, b int) float64 {
+	if !p.distOnce {
+		p.computeDistances()
+	}
+	return p.dist[a][b]
+}
+
+// computeDistances fills the all-pairs location distance matrix by running a
+// Dijkstra search over the door graph from every door.
+func (p *Plan) computeDistances() {
+	n := len(p.locations)
+	p.dist = make([][]float64, n)
+	for i := range p.dist {
+		p.dist[i] = make([]float64, n)
+		for j := range p.dist[i] {
+			if i == j {
+				p.dist[i][j] = 0
+			} else {
+				p.dist[i][j] = math.Inf(1)
+			}
+		}
+	}
+
+	// doorDist[i][j]: minimal walking distance between doors i and j,
+	// where crossing a door costs its ExtraLength and moving between two
+	// doors of the same location costs the straight-line distance between
+	// their passage points in that location.
+	nd := len(p.doors)
+	for src := 0; src < nd; src++ {
+		d := p.dijkstraFromDoor(src)
+		for dst := 0; dst < nd; dst++ {
+			if math.IsInf(d[dst], 1) {
+				continue
+			}
+			// A path door src -> door dst connects every location
+			// adjacent to src with every location adjacent to dst.
+			for _, la := range [2]int{p.doors[src].LocA, p.doors[src].LocB} {
+				for _, lb := range [2]int{p.doors[dst].LocA, p.doors[dst].LocB} {
+					if d[dst] < p.dist[la][lb] {
+						p.dist[la][lb] = d[dst]
+						p.dist[lb][la] = d[dst]
+					}
+				}
+			}
+		}
+	}
+	p.distOnce = true
+}
+
+// dijkstraFromDoor returns the shortest distances from door src to all doors.
+func (p *Plan) dijkstraFromDoor(src int) []float64 {
+	nd := len(p.doors)
+	dist := make([]float64, nd)
+	done := make([]bool, nd)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = p.doors[src].ExtraLength
+	// Simple O(n^2) Dijkstra; door counts are small (tens to hundreds).
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < nd; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u == -1 {
+			return dist
+		}
+		done[u] = true
+		du := p.doors[u]
+		for _, loc := range [2]int{du.LocA, du.LocB} {
+			from := du.PosIn(loc)
+			for _, vid := range p.doorsByLoc[loc] {
+				if vid == u || done[vid] {
+					continue
+				}
+				dv := p.doors[vid]
+				w := from.Dist(dv.PosIn(loc)) + dv.ExtraLength
+				if dist[u]+w < dist[vid] {
+					dist[vid] = dist[u] + w
+				}
+			}
+		}
+	}
+}
+
+// Builder assembles a Plan. Add locations and doors, then call Build, which
+// validates the plan and derives the wall segments.
+type Builder struct {
+	locations []Location
+	doors     []Door
+	errs      []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddLocation adds a location and returns its ID.
+func (b *Builder) AddLocation(name string, kind Kind, floor int, bounds geom.Rect) int {
+	id := len(b.locations)
+	b.locations = append(b.locations, Location{
+		ID: id, Name: name, Kind: kind, Floor: floor, Bounds: bounds,
+	})
+	return id
+}
+
+// AddDoor adds a same-floor door between locations a and b at the given
+// point (which should lie on their shared wall) with the given opening
+// width, and returns its ID.
+func (b *Builder) AddDoor(a, bLoc int, pos geom.Point, width float64) int {
+	id := len(b.doors)
+	b.doors = append(b.doors, Door{
+		ID: id, LocA: a, LocB: bLoc, PosA: pos, PosB: pos, Width: width,
+	})
+	return id
+}
+
+// AddStairs adds a stair connection between locations a and b (typically
+// stairwells on adjacent floors). posA and posB are the stair landings in
+// each location; length is the walking length of the stair run.
+func (b *Builder) AddStairs(a, bLoc int, posA, posB geom.Point, length float64) int {
+	id := len(b.doors)
+	b.doors = append(b.doors, Door{
+		ID: id, LocA: a, LocB: bLoc, PosA: posA, PosB: posB, ExtraLength: length,
+	})
+	return id
+}
+
+// Build validates the accumulated plan, derives walls, and returns the Plan.
+func (b *Builder) Build() (*Plan, error) {
+	if len(b.locations) == 0 {
+		return nil, fmt.Errorf("floorplan: plan has no locations")
+	}
+	names := make(map[string]bool, len(b.locations))
+	floors := 0
+	outline := b.locations[0].Bounds
+	for _, l := range b.locations {
+		if l.Bounds.Area() <= 0 {
+			return nil, fmt.Errorf("floorplan: location %q has no area", l.Name)
+		}
+		if names[l.Name] {
+			return nil, fmt.Errorf("floorplan: duplicate location name %q", l.Name)
+		}
+		names[l.Name] = true
+		if l.Floor < 0 {
+			return nil, fmt.Errorf("floorplan: location %q has negative floor", l.Name)
+		}
+		if l.Floor+1 > floors {
+			floors = l.Floor + 1
+		}
+		outline = outline.Union(l.Bounds)
+	}
+	for i, l := range b.locations {
+		for j := i + 1; j < len(b.locations); j++ {
+			m := b.locations[j]
+			if l.Floor == m.Floor && l.Bounds.Overlaps(m.Bounds) {
+				return nil, fmt.Errorf("floorplan: locations %q and %q overlap", l.Name, m.Name)
+			}
+		}
+	}
+	for _, d := range b.doors {
+		if d.LocA < 0 || d.LocA >= len(b.locations) || d.LocB < 0 || d.LocB >= len(b.locations) {
+			return nil, fmt.Errorf("floorplan: door %d references unknown location", d.ID)
+		}
+		if d.LocA == d.LocB {
+			return nil, fmt.Errorf("floorplan: door %d connects a location to itself", d.ID)
+		}
+		la, lb := b.locations[d.LocA], b.locations[d.LocB]
+		if d.ExtraLength == 0 && la.Floor != lb.Floor {
+			return nil, fmt.Errorf("floorplan: door %d joins different floors; use AddStairs", d.ID)
+		}
+	}
+
+	p := &Plan{
+		locations: b.locations,
+		doors:     b.doors,
+		floors:    floors,
+		outline:   outline,
+	}
+	p.doorsByLoc = make([][]int, len(b.locations))
+	for _, d := range b.doors {
+		p.doorsByLoc[d.LocA] = append(p.doorsByLoc[d.LocA], d.ID)
+		p.doorsByLoc[d.LocB] = append(p.doorsByLoc[d.LocB], d.ID)
+	}
+	p.walls = deriveWalls(b.locations, b.doors, floors)
+	return p, nil
+}
+
+// deriveWalls computes the opaque wall segments of each floor: the union of
+// all location boundary edges, with door openings removed and shared edges
+// merged so that a wall between two adjacent rooms counts once.
+func deriveWalls(locs []Location, doors []Door, floors int) []Wall {
+	type lineKey struct {
+		floor    int
+		vertical bool
+		coord    int64 // fixed-point (mm) position of the line
+	}
+	const scale = 1000 // millimeter resolution
+	fix := func(x float64) int64 { return int64(math.Round(x * scale)) }
+
+	spans := make(map[lineKey][][2]float64) // intervals along the line
+	addSpan := func(k lineKey, lo, hi float64) {
+		if hi > lo {
+			spans[k] = append(spans[k], [2]float64{lo, hi})
+		}
+	}
+	for _, l := range locs {
+		r := l.Bounds
+		addSpan(lineKey{l.Floor, false, fix(r.Min.Y)}, r.Min.X, r.Max.X)
+		addSpan(lineKey{l.Floor, false, fix(r.Max.Y)}, r.Min.X, r.Max.X)
+		addSpan(lineKey{l.Floor, true, fix(r.Min.X)}, r.Min.Y, r.Max.Y)
+		addSpan(lineKey{l.Floor, true, fix(r.Max.X)}, r.Min.Y, r.Max.Y)
+	}
+
+	// Door openings to subtract, grouped by line.
+	gaps := make(map[lineKey][][2]float64)
+	for _, d := range doors {
+		if d.ExtraLength > 0 || d.Width <= 0 {
+			continue // stairs pierce no wall on a single line
+		}
+		la := locs[d.LocA]
+		// A same-floor door lies on a shared vertical or horizontal wall
+		// line through its position; carve the opening on both
+		// orientations (only the matching one will have wall spans).
+		half := d.Width / 2
+		kv := lineKey{la.Floor, true, fix(d.PosA.X)}
+		gaps[kv] = append(gaps[kv], [2]float64{d.PosA.Y - half, d.PosA.Y + half})
+		kh := lineKey{la.Floor, false, fix(d.PosA.Y)}
+		gaps[kh] = append(gaps[kh], [2]float64{d.PosA.X - half, d.PosA.X + half})
+	}
+
+	keys := make([]lineKey, 0, len(spans))
+	for k := range spans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.floor != b.floor {
+			return a.floor < b.floor
+		}
+		if a.vertical != b.vertical {
+			return !a.vertical
+		}
+		return a.coord < b.coord
+	})
+
+	var walls []Wall
+	for _, k := range keys {
+		merged := mergeIntervals(spans[k])
+		carved := subtractIntervals(merged, mergeIntervals(gaps[k]))
+		for _, iv := range carved {
+			coord := float64(k.coord) / scale
+			var s geom.Segment
+			if k.vertical {
+				s = geom.Seg(geom.Pt(coord, iv[0]), geom.Pt(coord, iv[1]))
+			} else {
+				s = geom.Seg(geom.Pt(iv[0], coord), geom.Pt(iv[1], coord))
+			}
+			walls = append(walls, Wall{Floor: k.floor, Seg: s})
+		}
+	}
+	return walls
+}
+
+// mergeIntervals unions a set of closed intervals.
+func mergeIntervals(ivs [][2]float64) [][2]float64 {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	out := [][2]float64{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv[0] <= last[1]+1e-9 {
+			if iv[1] > last[1] {
+				last[1] = iv[1]
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// subtractIntervals removes the (merged) gaps from the (merged) spans.
+func subtractIntervals(spans, gaps [][2]float64) [][2]float64 {
+	var out [][2]float64
+	for _, s := range spans {
+		lo := s[0]
+		for _, g := range gaps {
+			if g[1] <= lo || g[0] >= s[1] {
+				continue
+			}
+			if g[0] > lo {
+				out = append(out, [2]float64{lo, g[0]})
+			}
+			if g[1] > lo {
+				lo = g[1]
+			}
+		}
+		if lo < s[1]-1e-12 {
+			out = append(out, [2]float64{lo, s[1]})
+		}
+	}
+	return out
+}

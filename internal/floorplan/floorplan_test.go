@@ -1,0 +1,293 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// twoRooms builds the simplest plan: two 4x4 rooms side by side sharing a
+// wall at x=4 with a 1 m door in the middle.
+func twoRooms(t *testing.T) *Plan {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddLocation("A", Room, 0, geom.RectWH(0, 0, 4, 4))
+	c := b.AddLocation("B", Room, 0, geom.RectWH(4, 0, 4, 4))
+	b.AddDoor(a, c, geom.Pt(4, 2), 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// corridorPlan builds one floor in the style of the paper's Fig. 1(a):
+// a corridor with three rooms above it, connected only through the corridor.
+//
+//	+----+----+----+
+//	| R0 | R1 | R2 |   rooms y in [2,6]
+//	+-d0-+-d1-+-d2-+
+//	|   corridor   |   y in [0,2]
+//	+----+----+----+
+func corridorPlan(t *testing.T) *Plan {
+	t.Helper()
+	b := NewBuilder()
+	cor := b.AddLocation("corridor", Corridor, 0, geom.RectWH(0, 0, 12, 2))
+	r0 := b.AddLocation("R0", Room, 0, geom.RectWH(0, 2, 4, 4))
+	r1 := b.AddLocation("R1", Room, 0, geom.RectWH(4, 2, 4, 4))
+	r2 := b.AddLocation("R2", Room, 0, geom.RectWH(8, 2, 4, 4))
+	b.AddDoor(cor, r0, geom.Pt(2, 2), 1)
+	b.AddDoor(cor, r1, geom.Pt(6, 2), 1)
+	b.AddDoor(cor, r2, geom.Pt(10, 2), 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Errorf("empty plan accepted")
+	}
+
+	b := NewBuilder()
+	b.AddLocation("A", Room, 0, geom.RectWH(0, 0, 4, 4))
+	b.AddLocation("A", Room, 0, geom.RectWH(10, 0, 4, 4))
+	if _, err := b.Build(); err == nil {
+		t.Errorf("duplicate names accepted")
+	}
+
+	b = NewBuilder()
+	b.AddLocation("A", Room, 0, geom.RectWH(0, 0, 4, 4))
+	b.AddLocation("B", Room, 0, geom.RectWH(2, 2, 4, 4))
+	if _, err := b.Build(); err == nil {
+		t.Errorf("overlapping rooms accepted")
+	}
+
+	b = NewBuilder()
+	b.AddLocation("A", Room, 0, geom.Rect{})
+	if _, err := b.Build(); err == nil {
+		t.Errorf("zero-area location accepted")
+	}
+
+	b = NewBuilder()
+	a := b.AddLocation("A", Room, 0, geom.RectWH(0, 0, 4, 4))
+	b.AddDoor(a, a, geom.Pt(0, 0), 1)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("self-door accepted")
+	}
+
+	b = NewBuilder()
+	a = b.AddLocation("A", Room, 0, geom.RectWH(0, 0, 4, 4))
+	c := b.AddLocation("B", Room, 1, geom.RectWH(0, 0, 4, 4))
+	b.AddDoor(a, c, geom.Pt(0, 0), 1)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("cross-floor door (not stairs) accepted")
+	}
+
+	b = NewBuilder()
+	a = b.AddLocation("A", Room, 0, geom.RectWH(0, 0, 4, 4))
+	b.AddDoor(a, 7, geom.Pt(0, 0), 1)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("dangling door accepted")
+	}
+}
+
+func TestLocationAt(t *testing.T) {
+	p := twoRooms(t)
+	if got := p.LocationAt(0, geom.Pt(1, 1)); got != 0 {
+		t.Errorf("LocationAt(1,1) = %d", got)
+	}
+	if got := p.LocationAt(0, geom.Pt(5, 1)); got != 1 {
+		t.Errorf("LocationAt(5,1) = %d", got)
+	}
+	if got := p.LocationAt(0, geom.Pt(20, 20)); got != -1 {
+		t.Errorf("LocationAt outside = %d", got)
+	}
+	if got := p.LocationAt(1, geom.Pt(1, 1)); got != -1 {
+		t.Errorf("LocationAt wrong floor = %d", got)
+	}
+	// Boundary point belongs to some location (not -1).
+	if got := p.LocationAt(0, geom.Pt(4, 2)); got == -1 {
+		t.Errorf("boundary point in no location")
+	}
+}
+
+func TestLocationByName(t *testing.T) {
+	p := twoRooms(t)
+	l, ok := p.LocationByName("B")
+	if !ok || l.ID != 1 {
+		t.Errorf("LocationByName(B) = %+v, %v", l, ok)
+	}
+	if _, ok := p.LocationByName("nope"); ok {
+		t.Errorf("unknown name found")
+	}
+}
+
+func TestDirectlyConnected(t *testing.T) {
+	p := corridorPlan(t)
+	cor, _ := p.LocationByName("corridor")
+	r0, _ := p.LocationByName("R0")
+	r1, _ := p.LocationByName("R1")
+	if !p.DirectlyConnected(cor.ID, r0.ID) || !p.DirectlyConnected(r0.ID, cor.ID) {
+		t.Errorf("corridor-R0 should be connected")
+	}
+	if p.DirectlyConnected(r0.ID, r1.ID) {
+		t.Errorf("R0-R1 should not be directly connected")
+	}
+	if !p.DirectlyConnected(r1.ID, r1.ID) {
+		t.Errorf("a location is always connected to itself")
+	}
+}
+
+func TestMinWalkDistance(t *testing.T) {
+	p := corridorPlan(t)
+	r0, _ := p.LocationByName("R0")
+	r1, _ := p.LocationByName("R1")
+	r2, _ := p.LocationByName("R2")
+	cor, _ := p.LocationByName("corridor")
+
+	if d := p.MinWalkDistance(r0.ID, r0.ID); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d := p.MinWalkDistance(r0.ID, cor.ID); d != 0 {
+		t.Errorf("adjacent distance = %v", d)
+	}
+	// R0 and R1 doors are at (2,2) and (6,2): distance 4 through corridor.
+	if d := p.MinWalkDistance(r0.ID, r1.ID); math.Abs(d-4) > 1e-9 {
+		t.Errorf("R0-R1 distance = %v, want 4", d)
+	}
+	if d := p.MinWalkDistance(r0.ID, r2.ID); math.Abs(d-8) > 1e-9 {
+		t.Errorf("R0-R2 distance = %v, want 8", d)
+	}
+	// Symmetry.
+	if p.MinWalkDistance(r2.ID, r0.ID) != p.MinWalkDistance(r0.ID, r2.ID) {
+		t.Errorf("distance not symmetric")
+	}
+}
+
+func TestMinWalkDistanceUnreachable(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddLocation("A", Room, 0, geom.RectWH(0, 0, 4, 4))
+	c := b.AddLocation("B", Room, 0, geom.RectWH(10, 0, 4, 4))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.MinWalkDistance(a, c); !math.IsInf(d, 1) {
+		t.Errorf("unreachable distance = %v, want +Inf", d)
+	}
+}
+
+func TestStairsDistance(t *testing.T) {
+	b := NewBuilder()
+	s0 := b.AddLocation("stairs0", Stairwell, 0, geom.RectWH(0, 0, 2, 2))
+	s1 := b.AddLocation("stairs1", Stairwell, 1, geom.RectWH(0, 0, 2, 2))
+	r0 := b.AddLocation("room0", Room, 0, geom.RectWH(2, 0, 4, 2))
+	r1 := b.AddLocation("room1", Room, 1, geom.RectWH(2, 0, 4, 2))
+	b.AddDoor(s0, r0, geom.Pt(2, 1), 1)
+	b.AddDoor(s1, r1, geom.Pt(2, 1), 1)
+	b.AddStairs(s0, s1, geom.Pt(1, 1), geom.Pt(1, 1), 5)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// room0 -> room1: door (2,1) -> landing (1,1) is 1m, stairs 5m,
+	// landing -> door (2,1) is 1m. Total 7.
+	if d := p.MinWalkDistance(r0, r1); math.Abs(d-7) > 1e-9 {
+		t.Errorf("cross-floor distance = %v, want 7", d)
+	}
+	if !p.DirectlyConnected(s0, s1) {
+		t.Errorf("stairwells joined by stairs should be directly connected")
+	}
+}
+
+func TestWallsHaveDoorGaps(t *testing.T) {
+	p := twoRooms(t)
+	// The shared wall at x=4 must be split by the 1m door at y in [1.5,2.5].
+	blocked := p.WallsBetween(0, geom.Pt(3, 0.5), geom.Pt(5, 0.5))
+	if blocked == 0 {
+		t.Errorf("ray through solid wall crossed no walls")
+	}
+	through := p.WallsBetween(0, geom.Pt(3, 2), geom.Pt(5, 2))
+	if through != 0 {
+		t.Errorf("ray through the door crossed %d walls, want 0", through)
+	}
+}
+
+func TestWallsSharedEdgeCountsOnce(t *testing.T) {
+	p := twoRooms(t)
+	// A ray through the shared wall (away from the door) crosses exactly
+	// one wall, not two, because the shared edge is merged.
+	n := p.WallsBetween(0, geom.Pt(3.5, 0.5), geom.Pt(4.5, 0.5))
+	if n != 1 {
+		t.Errorf("shared wall counted %d times, want 1", n)
+	}
+}
+
+func TestWallsWithinRoom(t *testing.T) {
+	p := twoRooms(t)
+	if n := p.WallsBetween(0, geom.Pt(0.5, 0.5), geom.Pt(3.5, 3.5)); n != 0 {
+		t.Errorf("ray inside room crossed %d walls", n)
+	}
+}
+
+func TestOutlineAndFloors(t *testing.T) {
+	p := corridorPlan(t)
+	if p.NumFloors() != 1 {
+		t.Errorf("floors = %d", p.NumFloors())
+	}
+	o := p.Outline()
+	if o.Min != geom.Pt(0, 0) || o.Max != geom.Pt(12, 6) {
+		t.Errorf("outline = %v", o)
+	}
+	if p.NumLocations() != 4 {
+		t.Errorf("locations = %d", p.NumLocations())
+	}
+}
+
+func TestDoorAccessors(t *testing.T) {
+	p := twoRooms(t)
+	d := p.Door(0)
+	if d.Other(0) != 1 || d.Other(1) != 0 || d.Other(5) != -1 {
+		t.Errorf("Other wrong: %+v", d)
+	}
+	if d.PosIn(0) != d.PosA || d.PosIn(1) != d.PosB {
+		t.Errorf("PosIn wrong")
+	}
+	if len(p.DoorsOf(0)) != 1 || len(p.DoorsOf(1)) != 1 {
+		t.Errorf("DoorsOf wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Room.String() != "room" || Corridor.String() != "corridor" || Stairwell.String() != "stairwell" {
+		t.Errorf("kind strings wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Errorf("unknown kind has empty string")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	merged := mergeIntervals([][2]float64{{0, 2}, {1, 3}, {5, 6}})
+	if len(merged) != 2 || merged[0] != [2]float64{0, 3} || merged[1] != [2]float64{5, 6} {
+		t.Errorf("mergeIntervals = %v", merged)
+	}
+	sub := subtractIntervals([][2]float64{{0, 10}}, [][2]float64{{2, 3}, {5, 7}})
+	want := [][2]float64{{0, 2}, {3, 5}, {7, 10}}
+	if len(sub) != len(want) {
+		t.Fatalf("subtractIntervals = %v", sub)
+	}
+	for i := range want {
+		if sub[i] != want[i] {
+			t.Errorf("subtractIntervals[%d] = %v, want %v", i, sub[i], want[i])
+		}
+	}
+	// Gap covering the whole span removes it.
+	if got := subtractIntervals([][2]float64{{1, 2}}, [][2]float64{{0, 5}}); len(got) != 0 {
+		t.Errorf("fully covered span not removed: %v", got)
+	}
+}

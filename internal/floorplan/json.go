@@ -1,0 +1,47 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// planJSON is the serialized form of a Plan: locations and doors only (walls
+// and distances are derived on load, exactly as Builder derives them).
+type planJSON struct {
+	Locations []Location `json:"locations"`
+	Doors     []Door     `json:"doors"`
+}
+
+// Encode writes the plan as JSON.
+func (p *Plan) Encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(planJSON{Locations: p.locations, Doors: p.doors})
+}
+
+// Decode reads a plan written by Encode (or hand-authored in the same
+// format) and rebuilds it through the Builder, re-running all validation and
+// re-deriving walls.
+func Decode(r io.Reader) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("floorplan: decoding plan: %w", err)
+	}
+	b := NewBuilder()
+	for i, l := range in.Locations {
+		if l.ID != i {
+			return nil, fmt.Errorf("floorplan: location %d has ID %d; IDs must be dense and ordered", i, l.ID)
+		}
+		b.AddLocation(l.Name, l.Kind, l.Floor, l.Bounds)
+	}
+	for i, d := range in.Doors {
+		if d.ID != i {
+			return nil, fmt.Errorf("floorplan: door %d has ID %d; IDs must be dense and ordered", i, d.ID)
+		}
+		if d.ExtraLength > 0 {
+			b.AddStairs(d.LocA, d.LocB, d.PosA, d.PosB, d.ExtraLength)
+		} else {
+			b.AddDoor(d.LocA, d.LocB, d.PosA, d.Width)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,72 @@
+package floorplan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPlanEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	s0 := b.AddLocation("stairs0", Stairwell, 0, geomRect(0, 0, 2, 2))
+	s1 := b.AddLocation("stairs1", Stairwell, 1, geomRect(0, 0, 2, 2))
+	r0 := b.AddLocation("room0", Room, 0, geomRect(2, 0, 4, 2))
+	r1 := b.AddLocation("room1", Room, 1, geomRect(2, 0, 4, 2))
+	b.AddDoor(s0, r0, geomPt(2, 1), 1)
+	b.AddDoor(s1, r1, geomPt(2, 1), 1)
+	b.AddStairs(s0, s1, geomPt(1, 1), geomPt(1, 1), 5)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumLocations() != p.NumLocations() || back.NumFloors() != p.NumFloors() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			back.NumLocations(), back.NumFloors(), p.NumLocations(), p.NumFloors())
+	}
+	for id := 0; id < p.NumLocations(); id++ {
+		if p.Location(id) != back.Location(id) {
+			t.Fatalf("location %d changed: %+v vs %+v", id, p.Location(id), back.Location(id))
+		}
+	}
+	if len(back.Doors()) != len(p.Doors()) {
+		t.Fatalf("door count changed")
+	}
+	// Derived structures must be re-derived identically.
+	if len(back.Walls()) != len(p.Walls()) {
+		t.Errorf("wall count changed: %d vs %d", len(back.Walls()), len(p.Walls()))
+	}
+	if d1, d2 := p.MinWalkDistance(r0, r1), back.MinWalkDistance(r0, r1); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("walking distance changed: %v vs %v", d1, d2)
+	}
+}
+
+func TestPlanDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"no locations":   `{"locations":[],"doors":[]}`,
+		"sparse loc ids": `{"locations":[{"id":3,"name":"a","kind":0,"floor":0,"bounds":{"Min":{"X":0,"Y":0},"Max":{"X":1,"Y":1}}}],"doors":[]}`,
+		"sparse door ids": `{"locations":[{"id":0,"name":"a","kind":0,"floor":0,"bounds":{"Min":{"X":0,"Y":0},"Max":{"X":4,"Y":4}}},` +
+			`{"id":1,"name":"b","kind":0,"floor":0,"bounds":{"Min":{"X":4,"Y":0},"Max":{"X":8,"Y":4}}}],` +
+			`"doors":[{"id":7,"locA":0,"locB":1,"posA":{"X":4,"Y":2},"posB":{"X":4,"Y":2},"width":1}]}`,
+	}
+	for name, body := range cases {
+		if _, err := Decode(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func geomRect(x, y, w, h float64) geom.Rect { return geom.RectWH(x, y, w, h) }
+func geomPt(x, y float64) geom.Point        { return geom.Pt(x, y) }

@@ -1,0 +1,279 @@
+// Package gen implements the paper's synthetic data generator (§6.4): a
+// trajectory generator producing ground-truth movement over a floor plan,
+// and a reading generator sampling RFID detections from the ground-truth
+// detection matrix F.
+//
+// A trajectory is built leg by leg exactly as §6.4 describes: inside the
+// current location the object walks from an entrance point to a random
+// rest point, pauses there for a random latency, walks to a randomly chosen
+// exit door, and crosses into the next location — at a velocity drawn per
+// trajectory from [MinSpeed, MaxSpeed]. Positions are sampled once per
+// timestamp (1 second).
+//
+// Two details guarantee the ground truth satisfies the constraint sets that
+// internal/constraints infers from the same plan (so cleaning never has to
+// discard the true trajectory):
+//
+//   - every location visit spans at least one emitted sample (pass-through
+//     locations pause at least PassMinStay seconds), keeping consecutive
+//     samples door-adjacent (DU-sound);
+//   - movement is along straight lines within (convex) locations through
+//     doors, so travel times dominate the minimum walking distances TT
+//     constraints are derived from (TT-sound).
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/rfid"
+	"repro/internal/stats"
+)
+
+// Position is a point on a specific floor.
+type Position struct {
+	Floor int        `json:"floor"`
+	P     geom.Point `json:"p"`
+}
+
+// TrackPoint is one ground-truth sample: where the object was at an integer
+// timestamp, and the location containing that point.
+type TrackPoint struct {
+	Time int      `json:"time"`
+	Pos  Position `json:"pos"`
+	Loc  int      `json:"loc"`
+}
+
+// Trajectory is a ground-truth trajectory: one TrackPoint per timestamp.
+type Trajectory struct {
+	Points []TrackPoint `json:"points"`
+}
+
+// Duration returns the number of timestamps covered.
+func (t *Trajectory) Duration() int { return len(t.Points) }
+
+// Locations returns the per-timestamp location IDs.
+func (t *Trajectory) Locations() []int {
+	out := make([]int, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.Loc
+	}
+	return out
+}
+
+// TrajectoryConfig parameterizes the trajectory generator. NewConfig returns
+// the paper's values.
+type TrajectoryConfig struct {
+	// Duration is the trajectory length in timestamps (seconds).
+	Duration int
+	// MinSpeed and MaxSpeed bound the walking speed in m/s; the paper
+	// draws each trajectory's speed from [1, 2].
+	MinSpeed, MaxSpeed float64
+	// MinStay and MaxStay bound the rest-point latency in seconds at
+	// rooms and stairwells; the paper uses [30, 60].
+	MinStay, MaxStay int
+	// PassMinStay and PassMaxStay bound the pause in pass-through
+	// locations (corridors), which the paper's room-centric generator
+	// does not dwell in. At least 2 seconds keeps the ground truth
+	// DU-sound under 1-second sampling.
+	PassMinStay, PassMaxStay int
+	// DoorInset is how far inside a location the object aims past a door
+	// before continuing (meters).
+	DoorInset float64
+}
+
+// NewConfig returns the paper's generator parameters for the given duration.
+func NewConfig(duration int) TrajectoryConfig {
+	return TrajectoryConfig{
+		Duration:    duration,
+		MinSpeed:    1,
+		MaxSpeed:    2,
+		MinStay:     30,
+		MaxStay:     60,
+		PassMinStay: 2,
+		PassMaxStay: 5,
+		DoorInset:   0.4,
+	}
+}
+
+func (c *TrajectoryConfig) validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("gen: duration must be positive, got %d", c.Duration)
+	}
+	if c.MinSpeed <= 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("gen: bad speed range [%g, %g]", c.MinSpeed, c.MaxSpeed)
+	}
+	if c.MinStay < 1 || c.MaxStay < c.MinStay {
+		return fmt.Errorf("gen: bad stay range [%d, %d]", c.MinStay, c.MaxStay)
+	}
+	if c.PassMinStay < 1 || c.PassMaxStay < c.PassMinStay {
+		return fmt.Errorf("gen: bad pass-through stay range [%d, %d]", c.PassMinStay, c.PassMaxStay)
+	}
+	return nil
+}
+
+// GenerateTrajectory produces one ground-truth trajectory over the plan.
+func GenerateTrajectory(plan *floorplan.Plan, cfg TrajectoryConfig, rng *stats.RNG) (*Trajectory, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &simulator{plan: plan, cfg: cfg, rng: rng, traj: &Trajectory{}}
+	s.speed = rng.Range(cfg.MinSpeed, cfg.MaxSpeed)
+
+	// Random initial location and entrance point (§6.4).
+	s.loc = rng.Intn(plan.NumLocations())
+	s.floor = plan.Location(s.loc).Floor
+	s.pos = s.randomPointIn(s.loc)
+
+	for !s.done() {
+		loc := plan.Location(s.loc)
+
+		// Walk to a random rest point and pause there.
+		s.walk(s.randomPointIn(s.loc))
+		if loc.Kind == floorplan.Corridor {
+			s.wait(float64(rng.IntRange(cfg.PassMinStay, cfg.PassMaxStay)))
+		} else {
+			s.wait(float64(rng.IntRange(cfg.MinStay, cfg.MaxStay)))
+		}
+		if s.done() {
+			break
+		}
+
+		// Choose an exit door; a dead-end location just keeps the
+		// object in place until the window fills.
+		doors := plan.DoorsOf(s.loc)
+		if len(doors) == 0 {
+			s.wait(float64(cfg.Duration))
+			break
+		}
+		door := plan.Door(doors[rng.Intn(len(doors))])
+		s.cross(door)
+	}
+	s.traj.Points = s.traj.Points[:cfg.Duration]
+	return s.traj, nil
+}
+
+// simulator advances continuous time, emitting one sample per integer tick.
+type simulator struct {
+	plan  *floorplan.Plan
+	cfg   TrajectoryConfig
+	rng   *stats.RNG
+	traj  *Trajectory
+	speed float64
+
+	now      float64
+	nextTick int
+	floor    int
+	loc      int
+	pos      geom.Point
+}
+
+func (s *simulator) done() bool { return s.nextTick >= s.cfg.Duration }
+
+// emitThrough records samples for every integer tick in [nextTick, limit]
+// using pos interpolated between from (at time t0) and s.pos (at time s.now).
+func (s *simulator) emitThrough(limit float64, from geom.Point, t0 float64) {
+	for !s.done() && float64(s.nextTick) <= limit+1e-9 {
+		p := s.pos
+		if s.now > t0+1e-12 {
+			frac := (float64(s.nextTick) - t0) / (s.now - t0)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			p = from.Lerp(s.pos, frac)
+		}
+		s.traj.Points = append(s.traj.Points, TrackPoint{
+			Time: s.nextTick,
+			Pos:  Position{Floor: s.floor, P: p},
+			Loc:  s.loc,
+		})
+		s.nextTick++
+	}
+}
+
+// walk moves in a straight line (legal inside a convex location) to the
+// target point at the trajectory speed.
+func (s *simulator) walk(to geom.Point) {
+	from, t0 := s.pos, s.now
+	d := from.Dist(to)
+	s.pos = to
+	s.now = t0 + d/s.speed
+	s.emitThrough(s.now, from, t0)
+}
+
+// wait keeps the object in place for the given number of seconds.
+func (s *simulator) wait(seconds float64) {
+	t0 := s.now
+	s.now += seconds
+	s.emitThrough(s.now, s.pos, t0)
+}
+
+// cross walks to the door and through it into the adjacent location. Stairs
+// add their extra length at walking speed, splitting the time between the
+// two landings.
+func (s *simulator) cross(d floorplan.Door) {
+	s.walk(d.PosIn(s.loc))
+	next := d.Other(s.loc)
+	if d.ExtraLength > 0 {
+		// Stairs: first half of the climb counts as the current
+		// stairwell, the second half as the next one.
+		half := d.ExtraLength / s.speed / 2
+		s.wait(half)
+		s.loc = next
+		s.floor = s.plan.Location(next).Floor
+		s.pos = d.PosIn(next)
+		s.wait(half)
+	} else {
+		s.loc = next
+		s.floor = s.plan.Location(next).Floor
+	}
+	// Step clear of the doorway so samples fall strictly inside.
+	s.walk(s.insetPoint(next, s.pos))
+	// Guarantee at least one emitted sample inside the location, keeping
+	// consecutive samples door-adjacent.
+	for !s.done() && len(s.traj.Points) > 0 && s.traj.Points[len(s.traj.Points)-1].Loc != s.loc {
+		s.wait(1)
+	}
+}
+
+// randomPointIn draws a point inside the location, inset from its walls.
+func (s *simulator) randomPointIn(loc int) geom.Point {
+	r := s.plan.Location(loc).Bounds.Inset(s.cfg.DoorInset)
+	return geom.Pt(s.rng.Range(r.Min.X, r.Max.X+1e-12), s.rng.Range(r.Min.Y, r.Max.Y+1e-12))
+}
+
+// insetPoint nudges a boundary point toward the location's interior.
+func (s *simulator) insetPoint(loc int, p geom.Point) geom.Point {
+	b := s.plan.Location(loc).Bounds
+	c := b.Center()
+	dir := c.Sub(p)
+	n := dir.Norm()
+	if n < 1e-9 {
+		return p
+	}
+	step := s.cfg.DoorInset
+	if step > n {
+		step = n
+	}
+	return b.Inset(s.cfg.DoorInset / 2).Clamp(p.Add(dir.Scale(step / n)))
+}
+
+// GenerateReadings converts a ground-truth trajectory into a reading
+// sequence by sampling each reader independently with probability F[r, c]
+// for the cell c containing the object (§6.4). Samples falling outside the
+// cell space (which a well-formed plan never produces) yield empty readings.
+func GenerateReadings(traj *Trajectory, f *rfid.Matrix, rng *stats.RNG) rfid.Sequence {
+	seq := make(rfid.Sequence, 0, traj.Duration())
+	for _, tp := range traj.Points {
+		cell := f.Cells.CellOf(tp.Pos.Floor, tp.Pos.P)
+		var set rfid.Set
+		if cell >= 0 {
+			set = f.DetectAt(cell, rng)
+		}
+		seq = append(seq, rfid.Reading{Time: tp.Time, Readers: set})
+	}
+	return seq
+}

@@ -1,0 +1,224 @@
+// Package geom provides the small 2-D geometry substrate used by the
+// floor-plan model, the RFID detection model and the synthetic data
+// generator: points, segments, axis-aligned rectangles, and a uniform grid
+// partitioning of a rectangular region into square cells.
+//
+// All coordinates are in meters. The package is intentionally minimal and
+// allocation-conscious: everything is a value type.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p seen as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3g, %.3g)", p.X, p.Y) }
+
+// Lerp returns the point p + t·(q−p).
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the Euclidean length of s.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of s.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// At returns the point A + t·(B−A).
+func (s Segment) At(t float64) Point { return s.A.Lerp(s.B, t) }
+
+const eps = 1e-9
+
+// Intersects reports whether segments s and t share at least one point.
+// Collinear overlapping segments intersect; touching at endpoints counts.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := direction(t.A, t.B, s.A)
+	d2 := direction(t.A, t.B, s.B)
+	d3 := direction(s.A, s.B, t.A)
+	d4 := direction(s.A, s.B, t.B)
+	if ((d1 > eps && d2 < -eps) || (d1 < -eps && d2 > eps)) &&
+		((d3 > eps && d4 < -eps) || (d3 < -eps && d4 > eps)) {
+		return true
+	}
+	switch {
+	case math.Abs(d1) <= eps && onSegment(t.A, t.B, s.A):
+		return true
+	case math.Abs(d2) <= eps && onSegment(t.A, t.B, s.B):
+		return true
+	case math.Abs(d3) <= eps && onSegment(s.A, s.B, t.A):
+		return true
+	case math.Abs(d4) <= eps && onSegment(s.A, s.B, t.B):
+		return true
+	}
+	return false
+}
+
+// direction returns the orientation of point p relative to the directed line
+// a→b: positive when p is to the left, negative to the right, ~0 collinear.
+func direction(a, b, p Point) float64 {
+	return b.Sub(a).Cross(p.Sub(a))
+}
+
+// onSegment reports whether collinear point p lies within the bounding box of
+// segment a–b.
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X)-eps <= p.X && p.X <= math.Max(a.X, b.X)+eps &&
+		math.Min(a.Y, b.Y)-eps <= p.Y && p.Y <= math.Max(a.Y, b.Y)+eps
+}
+
+// DistToPoint returns the distance from point p to the segment s.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	den := ab.Dot(ab)
+	if den <= eps {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(ab) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(s.At(t))
+}
+
+// Rect is an axis-aligned rectangle. Min is the corner with the smallest
+// coordinates, Max the one with the largest. A Rect with Min == Max is empty.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanned by the two corner points, normalizing
+// the corner order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// RectWH returns the rectangle with minimum corner (x, y), width w and
+// height h.
+func RectWH(x, y, w, h float64) Rect {
+	return NewRect(Pt(x, y), Pt(x+w, y+h))
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (boundary included).
+func (r Rect) Contains(p Point) bool {
+	return r.Min.X-eps <= p.X && p.X <= r.Max.X+eps &&
+		r.Min.Y-eps <= p.Y && p.Y <= r.Max.Y+eps
+}
+
+// ContainsStrict reports whether p lies strictly inside r.
+func (r Rect) ContainsStrict(p Point) bool {
+	return r.Min.X+eps < p.X && p.X < r.Max.X-eps &&
+		r.Min.Y+eps < p.Y && p.Y < r.Max.Y-eps
+}
+
+// Overlaps reports whether r and q share interior area.
+func (r Rect) Overlaps(q Rect) bool {
+	return r.Min.X < q.Max.X-eps && q.Min.X < r.Max.X-eps &&
+		r.Min.Y < q.Max.Y-eps && q.Min.Y < r.Max.Y-eps
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(p.X, r.Max.X)),
+		Y: math.Max(r.Min.Y, math.Min(p.Y, r.Max.Y)),
+	}
+}
+
+// Inset returns r shrunk by d on every side. If r is too small the result
+// collapses to its center.
+func (r Rect) Inset(d float64) Rect {
+	out := Rect{
+		Min: Point{r.Min.X + d, r.Min.Y + d},
+		Max: Point{r.Max.X - d, r.Max.Y - d},
+	}
+	if out.Min.X > out.Max.X {
+		c := r.Center().X
+		out.Min.X, out.Max.X = c, c
+	}
+	if out.Min.Y > out.Max.Y {
+		c := r.Center().Y
+		out.Min.Y, out.Max.Y = c, c
+	}
+	return out
+}
+
+// Edges returns the four boundary segments of r in counterclockwise order
+// starting from the bottom edge.
+func (r Rect) Edges() [4]Segment {
+	bl := r.Min
+	br := Pt(r.Max.X, r.Min.Y)
+	tr := r.Max
+	tl := Pt(r.Min.X, r.Max.Y)
+	return [4]Segment{Seg(bl, br), Seg(br, tr), Seg(tr, tl), Seg(tl, bl)}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s - %s]", r.Min, r.Max)
+}
+
+// Union returns the smallest rectangle containing both r and q.
+func (r Rect) Union(q Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, q.Min.X), math.Min(r.Min.Y, q.Min.Y)},
+		Max: Point{math.Max(r.Max.X, q.Max.X), math.Max(r.Max.Y, q.Max.Y)},
+	}
+}

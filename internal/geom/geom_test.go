@@ -1,0 +1,303 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+	if !almostEq(Pt(3, 4).Norm(), 5) {
+		t.Errorf("Norm = %v", Pt(3, 4).Norm())
+	}
+	if !almostEq(Pt(0, 0).Dist(Pt(3, 4)), 5) {
+		t.Errorf("Dist wrong")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestSegmentLengthMidpoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(6, 8))
+	if !almostEq(s.Length(), 10) {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if s.Midpoint() != Pt(3, 4) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{"parallel", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(0, 1), Pt(2, 1)), false},
+		{"touching endpoint", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(1, 1), Pt(2, 0)), true},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(3, 0)), Seg(Pt(2, 0), Pt(5, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false},
+		{"T junction", Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(2, -1), Pt(2, 0)), true},
+		{"near miss", Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(2, 0.001), Pt(2, 1)), false},
+		{"disjoint diagonal", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(3, 3), Pt(4, 5)), false},
+	}
+	for _, c := range cases {
+		if got := c.s.Intersects(c.u); got != c.want {
+			t.Errorf("%s: Intersects = %v, want %v", c.name, got, c.want)
+		}
+		// Intersection is symmetric.
+		if got := c.u.Intersects(c.s); got != c.want {
+			t.Errorf("%s (swapped): Intersects = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if d := s.DistToPoint(Pt(5, 3)); !almostEq(d, 3) {
+		t.Errorf("interior projection: %v", d)
+	}
+	if d := s.DistToPoint(Pt(-3, 4)); !almostEq(d, 5) {
+		t.Errorf("before A: %v", d)
+	}
+	if d := s.DistToPoint(Pt(13, 4)); !almostEq(d, 5) {
+		t.Errorf("past B: %v", d)
+	}
+	// Degenerate segment behaves like a point.
+	d := Seg(Pt(1, 1), Pt(1, 1)).DistToPoint(Pt(4, 5))
+	if !almostEq(d, 5) {
+		t.Errorf("degenerate: %v", d)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Pt(4, 6), Pt(1, 2)) // corners given out of order
+	if r.Min != Pt(1, 2) || r.Max != Pt(4, 6) {
+		t.Fatalf("normalize: %v", r)
+	}
+	if !almostEq(r.Width(), 3) || !almostEq(r.Height(), 4) || !almostEq(r.Area(), 12) {
+		t.Errorf("dims wrong: %v %v %v", r.Width(), r.Height(), r.Area())
+	}
+	if r.Center() != Pt(2.5, 4) {
+		t.Errorf("center = %v", r.Center())
+	}
+	if !r.Contains(Pt(1, 2)) || !r.Contains(Pt(2, 3)) || r.Contains(Pt(0, 0)) {
+		t.Errorf("contains wrong")
+	}
+	if r.ContainsStrict(Pt(1, 2)) || !r.ContainsStrict(Pt(2, 3)) {
+		t.Errorf("strict contains wrong")
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := RectWH(0, 0, 2, 2)
+	if !a.Overlaps(RectWH(1, 1, 2, 2)) {
+		t.Errorf("overlapping rects not detected")
+	}
+	if a.Overlaps(RectWH(2, 0, 2, 2)) {
+		t.Errorf("edge-sharing rects should not overlap (no shared interior)")
+	}
+	if a.Overlaps(RectWH(5, 5, 1, 1)) {
+		t.Errorf("disjoint rects overlap")
+	}
+}
+
+func TestRectClampInsetUnion(t *testing.T) {
+	r := RectWH(0, 0, 10, 10)
+	if got := r.Clamp(Pt(-5, 3)); got != Pt(0, 3) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Pt(4, 12)); got != Pt(4, 10) {
+		t.Errorf("Clamp = %v", got)
+	}
+	in := r.Inset(2)
+	if in.Min != Pt(2, 2) || in.Max != Pt(8, 8) {
+		t.Errorf("Inset = %v", in)
+	}
+	collapsed := RectWH(0, 0, 1, 1).Inset(3)
+	if collapsed.Width() != 0 || collapsed.Height() != 0 {
+		t.Errorf("over-inset should collapse, got %v", collapsed)
+	}
+	u := r.Union(RectWH(8, 8, 5, 5))
+	if u.Min != Pt(0, 0) || u.Max != Pt(13, 13) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestRectEdges(t *testing.T) {
+	r := RectWH(0, 0, 2, 3)
+	edges := r.Edges()
+	total := 0.0
+	for _, e := range edges {
+		total += e.Length()
+	}
+	if !almostEq(total, 10) {
+		t.Errorf("perimeter = %v", total)
+	}
+}
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(RectWH(0, 0, 1, 1), 0); err == nil {
+		t.Errorf("zero cell size accepted")
+	}
+	if _, err := NewGrid(RectWH(0, 0, 1, 1), -1); err == nil {
+		t.Errorf("negative cell size accepted")
+	}
+	if _, err := NewGrid(Rect{}, 0.5); err == nil {
+		t.Errorf("empty region accepted")
+	}
+}
+
+func TestGridIndexing(t *testing.T) {
+	g, err := NewGrid(RectWH(0, 0, 2, 1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cols != 4 || g.Rows != 2 {
+		t.Fatalf("dims = %dx%d", g.Cols, g.Rows)
+	}
+	if g.NumCells() != 8 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	if idx := g.CellIndex(Pt(0.1, 0.1)); idx != 0 {
+		t.Errorf("bottom-left cell = %d", idx)
+	}
+	if idx := g.CellIndex(Pt(1.9, 0.9)); idx != 7 {
+		t.Errorf("top-right cell = %d", idx)
+	}
+	if idx := g.CellIndex(Pt(5, 5)); idx != -1 {
+		t.Errorf("outside point got cell %d", idx)
+	}
+	// Boundary point must clamp into the last cell, not fall off.
+	if idx := g.CellIndex(Pt(2, 1)); idx != 7 {
+		t.Errorf("max corner cell = %d", idx)
+	}
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	g, err := NewGrid(RectWH(-3, 2, 4.6, 3.2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < g.NumCells(); idx++ {
+		c := g.CellCenter(idx)
+		got := g.CellIndex(c)
+		if got != idx {
+			t.Fatalf("cell %d center %v maps to %d", idx, c, got)
+		}
+		if !g.CellRect(idx).Contains(c) {
+			t.Fatalf("cell %d rect does not contain its center", idx)
+		}
+	}
+}
+
+func TestGridCellsIn(t *testing.T) {
+	g, err := NewGrid(RectWH(0, 0, 2, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := g.CellsIn(RectWH(0, 0, 1, 1))
+	if len(cells) != 4 {
+		t.Errorf("CellsIn 1x1 = %d cells, want 4", len(cells))
+	}
+	all := g.CellsIn(g.Region)
+	if len(all) != g.NumCells() {
+		t.Errorf("CellsIn region = %d, want %d", len(all), g.NumCells())
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g, err := NewGrid(RectWH(0, 0, 1.5, 1.5), 0.5) // 3x3
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := 4
+	n4 := g.Neighbors4(center, nil)
+	if len(n4) != 4 {
+		t.Errorf("center Neighbors4 = %v", n4)
+	}
+	n8 := g.Neighbors8(center, nil)
+	if len(n8) != 8 {
+		t.Errorf("center Neighbors8 = %v", n8)
+	}
+	corner := 0
+	if n := g.Neighbors4(corner, nil); len(n) != 2 {
+		t.Errorf("corner Neighbors4 = %v", n)
+	}
+	if n := g.Neighbors8(corner, nil); len(n) != 3 {
+		t.Errorf("corner Neighbors8 = %v", n)
+	}
+}
+
+func TestPropertyDistSymmetricAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(clampF(ax), clampF(ay)), Pt(clampF(bx), clampF(by)), Pt(clampF(cx), clampF(cy))
+		if a.Dist(b) != b.Dist(a) {
+			return false
+		}
+		// Triangle inequality with slack for float error.
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGridRoundTrip(t *testing.T) {
+	g, err := NewGrid(RectWH(0, 0, 7, 5), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y float64) bool {
+		p := Pt(math.Mod(math.Abs(x), 7), math.Mod(math.Abs(y), 5))
+		idx := g.CellIndex(p)
+		if idx < 0 {
+			return false
+		}
+		// The reported cell rect must contain p (up to eps slack on edges).
+		r := g.CellRect(idx)
+		grown := Rect{Min: r.Min.Add(Pt(-1e-6, -1e-6)), Max: r.Max.Add(Pt(1e-6, 1e-6))}
+		return grown.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampF maps arbitrary float64s (incl. NaN/Inf from quick) into a sane range.
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,131 @@
+package geom
+
+import "fmt"
+
+// Grid partitions a rectangular region into square cells of a fixed size,
+// mirroring the paper's 0.5 m × 0.5 m partitioning of each floor map (§6.2).
+// Cells are indexed row-major: index = row*Cols + col, with row 0 at the
+// bottom (minimum Y) of the region.
+type Grid struct {
+	// Region is the rectangle being partitioned.
+	Region Rect
+	// CellSize is the side length of each square cell in meters.
+	CellSize float64
+	// Cols and Rows are the number of cells along X and Y.
+	Cols, Rows int
+}
+
+// NewGrid partitions region into square cells of the given size. The region
+// extent is covered completely: the last row/column may extend past the
+// region boundary when the extent is not an exact multiple of cellSize.
+func NewGrid(region Rect, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("geom: cell size must be positive, got %g", cellSize)
+	}
+	if region.Width() <= 0 || region.Height() <= 0 {
+		return nil, fmt.Errorf("geom: grid region %v has no area", region)
+	}
+	cols := int((region.Width() + cellSize - eps) / cellSize)
+	rows := int((region.Height() + cellSize - eps) / cellSize)
+	if cols == 0 {
+		cols = 1
+	}
+	if rows == 0 {
+		rows = 1
+	}
+	return &Grid{Region: region, CellSize: cellSize, Cols: cols, Rows: rows}, nil
+}
+
+// NumCells returns the total number of cells in the grid.
+func (g *Grid) NumCells() int { return g.Cols * g.Rows }
+
+// Extent returns the full rectangle covered by the grid cells, which may
+// extend slightly past Region when the region size is not an exact multiple
+// of the cell size.
+func (g *Grid) Extent() Rect {
+	return RectWH(g.Region.Min.X, g.Region.Min.Y,
+		float64(g.Cols)*g.CellSize, float64(g.Rows)*g.CellSize)
+}
+
+// CellIndex returns the index of the cell containing p, or -1 when p lies
+// outside the grid extent.
+func (g *Grid) CellIndex(p Point) int {
+	if !g.Extent().Contains(p) {
+		return -1
+	}
+	col := int((p.X - g.Region.Min.X) / g.CellSize)
+	row := int((p.Y - g.Region.Min.Y) / g.CellSize)
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	if row < 0 {
+		row = 0
+	}
+	return row*g.Cols + col
+}
+
+// CellRect returns the rectangle of the cell with the given index.
+func (g *Grid) CellRect(idx int) Rect {
+	row, col := idx/g.Cols, idx%g.Cols
+	x := g.Region.Min.X + float64(col)*g.CellSize
+	y := g.Region.Min.Y + float64(row)*g.CellSize
+	return RectWH(x, y, g.CellSize, g.CellSize)
+}
+
+// CellCenter returns the center point of the cell with the given index.
+func (g *Grid) CellCenter(idx int) Point { return g.CellRect(idx).Center() }
+
+// CellsIn returns the indices of all cells whose center lies inside r.
+func (g *Grid) CellsIn(r Rect) []int {
+	var out []int
+	for idx := 0; idx < g.NumCells(); idx++ {
+		if r.Contains(g.CellCenter(idx)) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Neighbors4 appends to dst the indices of the 4-connected neighbors of idx
+// and returns the extended slice.
+func (g *Grid) Neighbors4(idx int, dst []int) []int {
+	row, col := idx/g.Cols, idx%g.Cols
+	if col > 0 {
+		dst = append(dst, idx-1)
+	}
+	if col < g.Cols-1 {
+		dst = append(dst, idx+1)
+	}
+	if row > 0 {
+		dst = append(dst, idx-g.Cols)
+	}
+	if row < g.Rows-1 {
+		dst = append(dst, idx+g.Cols)
+	}
+	return dst
+}
+
+// Neighbors8 appends to dst the indices of the 8-connected neighbors of idx
+// and returns the extended slice.
+func (g *Grid) Neighbors8(idx int, dst []int) []int {
+	row, col := idx/g.Cols, idx%g.Cols
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			r, c := row+dr, col+dc
+			if r < 0 || r >= g.Rows || c < 0 || c >= g.Cols {
+				continue
+			}
+			dst = append(dst, r*g.Cols+c)
+		}
+	}
+	return dst
+}

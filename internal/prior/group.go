@@ -1,0 +1,162 @@
+package prior
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rfid"
+)
+
+// GroupDist returns p*(l | R_1, …, R_k) for k tags known to move together
+// (attached to the same object or pallet): the probability that the group is
+// at location l given that member j was detected by exactly the readers in
+// sets[j]. This is the group-correlation extension the paper's §8 names as
+// future work for supply-chain scenarios.
+//
+// The combination happens at the cell level, where the independence actually
+// holds: given the shared position c, the members' detections are
+// independent, so the joint cell weight is the product of the members'
+// per-cell weights under the model's formula. Summing per location and
+// normalizing yields a sharper distribution than any single member's.
+func (m *Model) GroupDist(sets []rfid.Set) ([]float64, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("prior: empty group")
+	}
+	if len(sets) == 1 {
+		return m.Dist(sets[0]), nil
+	}
+	key := groupKey(sets)
+	m.mu.Lock()
+	d, ok := m.cache[key]
+	m.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	d = m.computeGroup(sets)
+	m.mu.Lock()
+	m.cache[key] = d
+	m.mu.Unlock()
+	return d, nil
+}
+
+func groupKey(sets []rfid.Set) string {
+	var b strings.Builder
+	b.WriteString("G|")
+	for i, s := range sets {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(s.Key())
+	}
+	return b.String()
+}
+
+func (m *Model) computeGroup(sets []rfid.Set) []float64 {
+	plan := m.f.Cells.Plan
+	numLoc := plan.NumLocations()
+	dist := make([]float64, numLoc)
+
+	// Per member: the matrix row indices of fired and silent readers.
+	type member struct{ rows, silent []int }
+	members := make([]member, len(sets))
+	for j, set := range sets {
+		for i, reader := range m.f.Readers {
+			if set.Contains(reader.ID) {
+				members[j].rows = append(members[j].rows, i)
+			} else {
+				members[j].silent = append(members[j].silent, i)
+			}
+		}
+	}
+
+	total := 0.0
+	for loc := 0; loc < numLoc; loc++ {
+		var sum float64
+		for _, c := range m.f.Cells.CellsOfLocation(loc) {
+			w := 1.0
+			for _, mem := range members {
+				for _, ri := range mem.rows {
+					w *= m.f.Rates[ri][c]
+					if w == 0 {
+						break
+					}
+				}
+				if w == 0 {
+					break
+				}
+				if m.opts.Formula == FullLikelihood {
+					for _, ri := range mem.silent {
+						w *= 1 - m.f.Rates[ri][c]
+						if w == 0 {
+							break
+						}
+					}
+					if w == 0 {
+						break
+					}
+				}
+			}
+			sum += w
+		}
+		dist[loc] = sum
+		total += sum
+	}
+	if total <= 0 {
+		// The members' reader sets are mutually incompatible (no cell
+		// explains all of them): fall back to uniform, as §6.2 does for
+		// a single unexplainable set.
+		for loc := range dist {
+			dist[loc] = 1 / float64(numLoc)
+		}
+		return dist
+	}
+	for loc := range dist {
+		dist[loc] /= total
+	}
+	if m.opts.MinProb > 0 {
+		dist = prune(dist, m.opts.MinProb)
+	}
+	return dist
+}
+
+// GroupLSequence converts the reading sequences of a group of tags moving
+// together into a single joint l-sequence. All sequences must cover the
+// same window.
+func (m *Model) GroupLSequence(seqs []rfid.Sequence) (*core.LSequence, error) {
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("prior: empty group")
+	}
+	duration := seqs[0].Duration()
+	for j, seq := range seqs {
+		if err := seq.Validate(); err != nil {
+			return nil, fmt.Errorf("prior: group member %d: %w", j, err)
+		}
+		if seq.Duration() != duration {
+			return nil, fmt.Errorf("prior: group member %d covers %d timestamps, member 0 covers %d",
+				j, seq.Duration(), duration)
+		}
+	}
+	ls := &core.LSequence{Steps: make([]core.Step, duration)}
+	sets := make([]rfid.Set, len(seqs))
+	for t := 0; t < duration; t++ {
+		for j := range seqs {
+			sets[j] = seqs[j][t].Readers
+		}
+		dist, err := m.GroupDist(sets)
+		if err != nil {
+			return nil, err
+		}
+		var cands []core.Candidate
+		for loc, p := range dist {
+			if p > 0 {
+				cands = append(cands, core.Candidate{Loc: loc, P: p})
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("prior: no candidate location at timestamp %d", t)
+		}
+		ls.Steps[t].Candidates = cands
+	}
+	return ls, nil
+}

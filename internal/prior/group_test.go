@@ -1,0 +1,141 @@
+package prior
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rfid"
+)
+
+func entropy(dist []float64) float64 {
+	h := 0.0
+	for _, p := range dist {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+func TestGroupDistValidation(t *testing.T) {
+	m := New(fixture(t), Options{})
+	if _, err := m.GroupDist(nil); err != nil {
+		// empty group is an error
+	} else {
+		t.Errorf("empty group accepted")
+	}
+}
+
+func TestGroupDistSingletonEqualsDist(t *testing.T) {
+	m := New(fixture(t), Options{})
+	set := rfid.NewSet(0)
+	single := m.Dist(set)
+	group, err := m.GroupDist([]rfid.Set{set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for loc := range single {
+		if single[loc] != group[loc] {
+			t.Fatalf("singleton group differs at loc %d", loc)
+		}
+	}
+}
+
+func TestGroupDistSharper(t *testing.T) {
+	m := New(fixture(t), Options{})
+	// Two members both detected by reader 0 (room A's reader): the joint
+	// evidence squares the cell weights, concentrating mass on room A
+	// harder than the single observation does.
+	single := m.Dist(rfid.NewSet(0))
+	group, err := m.GroupDist([]rfid.Set{rfid.NewSet(0), rfid.NewSet(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range group {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("group dist sums to %v", sum)
+	}
+	if group[0] < single[0]-1e-9 {
+		t.Errorf("duplicated evidence weakened room A: group %v vs single %v", group[0], single[0])
+	}
+	if entropy(group) > entropy(single)+1e-9 {
+		t.Errorf("group entropy %v not sharper than single %v", entropy(group), entropy(single))
+	}
+}
+
+func TestGroupDistIncompatibleFallsBackUniform(t *testing.T) {
+	// Two members detected by readers with disjoint coverage: no cell
+	// explains both, so the joint distribution falls back to uniform.
+	m2 := New(disjointFixture(t), Options{})
+	dist, err := m2.GroupDist([]rfid.Set{rfid.NewSet(0), rfid.NewSet(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist[0]-0.5) > 1e-9 || math.Abs(dist[1]-0.5) > 1e-9 {
+		t.Errorf("incompatible group should be uniform: %v", dist)
+	}
+}
+
+// disjointFixture builds a plan whose two readers cover disjoint cells.
+func disjointFixture(t *testing.T) *rfid.Matrix {
+	t.Helper()
+	f := fixture(t)
+	// Zero out any cell covered by both readers.
+	for c := range f.Rates[0] {
+		if f.Rates[0][c] > 0 && f.Rates[1][c] > 0 {
+			f.Rates[1][c] = 0
+		}
+	}
+	return f
+}
+
+func TestGroupDistCaching(t *testing.T) {
+	m := New(fixture(t), Options{})
+	sets := []rfid.Set{rfid.NewSet(0), rfid.NewSet(1)}
+	a, err := m.GroupDist(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.GroupDist(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Errorf("group cache miss")
+	}
+}
+
+func TestGroupLSequence(t *testing.T) {
+	m := New(fixture(t), Options{})
+	seqA := rfid.Sequence{
+		{Time: 0, Readers: rfid.NewSet(0)},
+		{Time: 1, Readers: rfid.NewSet()},
+	}
+	seqB := rfid.Sequence{
+		{Time: 0, Readers: rfid.NewSet(0)},
+		{Time: 1, Readers: rfid.NewSet(1)},
+	}
+	ls, err := m.GroupLSequence([]rfid.Sequence{seqA, seqB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Duration() != 2 {
+		t.Errorf("duration = %d", ls.Duration())
+	}
+	// Errors.
+	if _, err := m.GroupLSequence(nil); err == nil {
+		t.Errorf("empty group accepted")
+	}
+	if _, err := m.GroupLSequence([]rfid.Sequence{seqA, seqB[:1]}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if _, err := m.GroupLSequence([]rfid.Sequence{{{Time: 5}}}); err == nil {
+		t.Errorf("invalid member accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package query
+
+import "fmt"
+
+// TransitionMatrix returns the expected number of transitions between each
+// ordered pair of locations under the conditioned distribution:
+// out[a][b] = E[ #timestamps τ with X_τ = a and X_{τ+1} = b ]. Diagonal
+// entries count stays. Row/column sums relate to expected occupancy, and the
+// total over all entries is duration − 1.
+//
+// The expectation is computed edge-wise from the forward/backward masses:
+// an edge (n, m) is traversed with probability α(n)·p_E(n,m)·β(m).
+func (e *Engine) TransitionMatrix() [][]float64 {
+	e.ensurePasses()
+	out := make([][]float64, e.numLoc)
+	for i := range out {
+		out[i] = make([]float64, e.numLoc)
+	}
+	for t := 0; t+1 < e.g.Duration(); t++ {
+		for _, n := range e.g.NodesAt(t) {
+			a := e.alpha[n]
+			if a == 0 {
+				continue
+			}
+			for _, edge := range n.Out() {
+				out[n.Loc][edge.To.Loc] += a * edge.P * e.beta[edge.To]
+			}
+		}
+	}
+	return out
+}
+
+// Event is a maximal run of timestamps whose most probable location is the
+// same: the cleaned data segmented into human-readable stays.
+type Event struct {
+	// Loc is the location ID of the run.
+	Loc int
+	// From and To delimit the run (inclusive).
+	From, To int
+	// Confidence is the mean marginal probability of Loc over the run.
+	Confidence float64
+}
+
+// Duration returns the number of timestamps the event spans.
+func (ev Event) Duration() int { return ev.To - ev.From + 1 }
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	return fmt.Sprintf("L%d@[%d,%d] (%.2f)", ev.Loc, ev.From, ev.To, ev.Confidence)
+}
+
+// Events segments the window into runs of the per-timestamp most probable
+// location. Runs whose mean confidence falls below minConfidence are still
+// reported (the caller decides what to trust); confidence is attached to
+// every event.
+func (e *Engine) Events() []Event {
+	e.ensurePasses()
+	duration := e.g.Duration()
+	var events []Event
+	var cur *Event
+	var confSum float64
+	for t := 0; t < duration; t++ {
+		bestLoc, bestP := -1, -1.0
+		// Aggregate node masses per location.
+		byLoc := make(map[int]float64)
+		for _, n := range e.g.NodesAt(t) {
+			byLoc[n.Loc] += e.alpha[n] * e.beta[n]
+		}
+		for loc, p := range byLoc {
+			if p > bestP || (p == bestP && loc < bestLoc) {
+				bestLoc, bestP = loc, p
+			}
+		}
+		if cur != nil && cur.Loc == bestLoc {
+			cur.To = t
+			confSum += bestP
+			cur.Confidence = confSum / float64(cur.Duration())
+			continue
+		}
+		if cur != nil {
+			events = append(events, *cur)
+		}
+		cur = &Event{Loc: bestLoc, From: t, To: t, Confidence: bestP}
+		confSum = bestP
+	}
+	if cur != nil {
+		events = append(events, *cur)
+	}
+	return events
+}

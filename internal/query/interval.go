@@ -1,0 +1,77 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// EverIn answers an interval-occupancy query: the probability that the
+// object was at location loc at some timestamp in [from, to] (inclusive).
+// It complements stay queries (a single timestamp) and pattern queries
+// (which cannot anchor conditions to absolute times).
+//
+// The complement is computed with one forward pass that drops every
+// loc-node inside the window: P(ever in loc during [from,to]) =
+// 1 − P(no τ in [from,to] has X_τ = loc).
+func (e *Engine) EverIn(loc, from, to int) (float64, error) {
+	if from > to {
+		return 0, fmt.Errorf("query: empty interval [%d, %d]", from, to)
+	}
+	if from < 0 || to >= e.g.Duration() {
+		return 0, fmt.Errorf("query: interval [%d, %d] outside window [0, %d)", from, to, e.g.Duration())
+	}
+	avoid := func(n *core.Node) bool {
+		return n.Loc == loc && n.Time >= from && n.Time <= to
+	}
+	// Forward mass restricted to paths avoiding loc within the window.
+	alpha := make(map[*core.Node]float64)
+	for _, src := range e.g.Sources() {
+		if !avoid(src) {
+			alpha[src] = src.SourceProb()
+		}
+	}
+	for t := 0; t+1 < e.g.Duration(); t++ {
+		for _, n := range e.g.NodesAt(t) {
+			a, ok := alpha[n]
+			if !ok {
+				continue
+			}
+			for _, edge := range n.Out() {
+				if !avoid(edge.To) {
+					alpha[edge.To] += a * edge.P
+				}
+			}
+		}
+	}
+	var never float64
+	for _, n := range e.g.Targets() {
+		never += alpha[n]
+	}
+	if never > 1 {
+		never = 1
+	}
+	return 1 - never, nil
+}
+
+// ExpectedVisitTime returns the expected number of timestamps spent at loc
+// within [from, to] under the conditioned distribution (the sum of the stay
+// marginals over the interval).
+func (e *Engine) ExpectedVisitTime(loc, from, to int) (float64, error) {
+	if from > to {
+		return 0, fmt.Errorf("query: empty interval [%d, %d]", from, to)
+	}
+	if from < 0 || to >= e.g.Duration() {
+		return 0, fmt.Errorf("query: interval [%d, %d] outside window [0, %d)", from, to, e.g.Duration())
+	}
+	e.ensurePasses()
+	total := 0.0
+	for t := from; t <= to; t++ {
+		for _, n := range e.g.NodesAt(t) {
+			if n.Loc == loc {
+				total += e.alpha[n] * e.beta[n]
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,30 @@
+package query
+
+import "repro/internal/stats"
+
+// runLengthChoices are the run lengths the paper draws query anchors from
+// (§6.6): −1 stands for a plain `l` condition (run length 1).
+var runLengthChoices = []int{-1, 3, 5, 7, 9}
+
+// RandomPattern draws a trajectory query the way the paper's workload
+// generator does (§6.6): `anchors` locations are chosen uniformly from locs,
+// each with a run length from {−1, 3, 5, 7, 9}, and the anchors are
+// interleaved with wildcards: ? l1[n1] ? l2[n2] ... ?.
+func RandomPattern(rng *stats.RNG, locs []int, anchors int) Pattern {
+	if anchors < 1 || len(locs) == 0 {
+		return Pattern{Wild()}
+	}
+	p := make(Pattern, 0, 2*anchors+1)
+	p = append(p, Wild())
+	for i := 0; i < anchors; i++ {
+		loc := locs[rng.Intn(len(locs))]
+		n := runLengthChoices[rng.Intn(len(runLengthChoices))]
+		if n < 0 {
+			p = append(p, At(loc, 1))
+		} else {
+			p = append(p, At(loc, n))
+		}
+		p = append(p, Wild())
+	}
+	return p
+}

@@ -1,0 +1,21 @@
+package rfid
+
+import "encoding/json"
+
+// MarshalJSON encodes the set as a JSON array of reader IDs.
+func (s Set) MarshalJSON() ([]byte, error) {
+	if s.ids == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.ids)
+}
+
+// UnmarshalJSON decodes a JSON array of reader IDs, canonicalizing it.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var ids []int
+	if err := json.Unmarshal(data, &ids); err != nil {
+		return err
+	}
+	*s = NewSet(ids...)
+	return nil
+}

@@ -1,0 +1,351 @@
+// Package server exposes the cleaning framework as an HTTP service: upload
+// a deployment (map + readers), post reading sequences to be cleaned, then
+// query the resulting conditioned trajectory graphs — the warehousing
+// workflow the paper's §5 remark sketches (clean once, query many times).
+//
+// The API is JSON over HTTP:
+//
+//	POST   /v1/deployments                 deployment JSON -> {"id": ...}
+//	GET    /v1/deployments                 list deployments
+//	POST   /v1/clean                       CleanRequest -> CleanResponse
+//	GET    /v1/trajectories/{id}/stay?t=N  stay-query distribution
+//	GET    /v1/trajectories/{id}/match?pattern=...  trajectory query
+//	GET    /v1/trajectories/{id}/top?k=N   k most probable trajectories
+//	GET    /v1/trajectories/{id}/occupancy expected seconds per location
+//	DELETE /v1/trajectories/{id}           evict a cleaned graph
+//
+// The server keeps everything in memory; it is a query head, not a durable
+// store.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	rfidclean "repro"
+)
+
+// Server is the HTTP query head. Create one with New and mount it as an
+// http.Handler.
+type Server struct {
+	mu           sync.Mutex
+	deployments  map[string]*deployment
+	trajectories map[string]*trajectory
+	nextDep      int
+	nextTraj     int
+
+	mux *http.ServeMux
+}
+
+type deployment struct {
+	id  string
+	dep *rfidclean.Deployment
+	sys *rfidclean.System
+}
+
+type trajectory struct {
+	id      string
+	depID   string
+	cleaned *rfidclean.Cleaned
+}
+
+// New returns a ready-to-serve Server.
+func New() *Server {
+	s := &Server{
+		deployments:  make(map[string]*deployment),
+		trajectories: make(map[string]*trajectory),
+		mux:          http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/deployments", s.handleDeployments)
+	s.mux.HandleFunc("/v1/clean", s.handleClean)
+	s.mux.HandleFunc("/v1/trajectories/", s.handleTrajectory)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleDeployments serves POST (register) and GET (list).
+func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		dep, err := rfidclean.DecodeDeployment(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid deployment: %v", err)
+			return
+		}
+		sys, err := dep.System()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "deployment rejected: %v", err)
+			return
+		}
+		s.mu.Lock()
+		s.nextDep++
+		id := "d" + strconv.Itoa(s.nextDep)
+		s.deployments[id] = &deployment{id: id, dep: dep, sys: sys}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+	case http.MethodGet:
+		type row struct {
+			ID        string `json:"id"`
+			Name      string `json:"name"`
+			Locations int    `json:"locations"`
+			Readers   int    `json:"readers"`
+		}
+		s.mu.Lock()
+		rows := make([]row, 0, len(s.deployments))
+		for id, d := range s.deployments {
+			rows = append(rows, row{
+				ID: id, Name: d.dep.Name,
+				Locations: d.dep.Plan.NumLocations(),
+				Readers:   len(d.dep.Readers),
+			})
+		}
+		s.mu.Unlock()
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		writeJSON(w, http.StatusOK, rows)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// CleanRequest asks the server to clean one reading sequence against a
+// registered deployment.
+type CleanRequest struct {
+	// Deployment is the id returned by POST /v1/deployments.
+	Deployment string `json:"deployment"`
+	// Readings is the sequence to clean (one reading per timestamp).
+	Readings rfidclean.ReadingSequence `json:"readings"`
+	// Group optionally carries additional sequences of tags moving
+	// together with Readings; all are fused before conditioning.
+	Group []rfidclean.ReadingSequence `json:"group,omitempty"`
+	// MaxSpeed (m/s) drives TT inference; required, > 0.
+	MaxSpeed float64 `json:"maxSpeed"`
+	// MinStay (s) drives LT inference on non-corridor locations.
+	MinStay int `json:"minStay"`
+	// TTCap optionally truncates TT horizons (0 = uncapped).
+	TTCap int `json:"ttCap"`
+	// StrictEnd selects Definition 2's end-of-window latency semantics.
+	StrictEnd bool `json:"strictEnd"`
+}
+
+// CleanResponse reports the cleaned trajectory handle and its graph size.
+type CleanResponse struct {
+	ID    string `json:"id"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Bytes int    `json:"bytes"`
+}
+
+func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req CleanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	dep := s.deployments[req.Deployment]
+	s.mu.Unlock()
+	if dep == nil {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", req.Deployment)
+		return
+	}
+	if req.MaxSpeed <= 0 {
+		writeError(w, http.StatusBadRequest, "maxSpeed must be positive")
+		return
+	}
+	ic, err := dep.sys.InferConstraints(req.MaxSpeed, req.MinStay, req.TTCap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
+		return
+	}
+	mode := rfidclean.LenientEnd
+	if req.StrictEnd {
+		mode = rfidclean.StrictEnd
+	}
+	opts := &rfidclean.BuildOptions{EndLatency: mode}
+	var cleaned *rfidclean.Cleaned
+	if len(req.Group) > 0 {
+		group := append([]rfidclean.ReadingSequence{req.Readings}, req.Group...)
+		cleaned, err = dep.sys.CleanGroup(group, ic, opts)
+	} else {
+		cleaned, err = dep.sys.Clean(req.Readings, ic, opts)
+	}
+	switch {
+	case errors.Is(err, rfidclean.ErrNoValidTrajectory):
+		writeError(w, http.StatusUnprocessableEntity, "readings are inconsistent with the constraints")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "cleaning failed: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextTraj++
+	id := "t" + strconv.Itoa(s.nextTraj)
+	s.trajectories[id] = &trajectory{id: id, depID: dep.id, cleaned: cleaned}
+	s.mu.Unlock()
+	st := cleaned.Stats()
+	writeJSON(w, http.StatusCreated, CleanResponse{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes})
+}
+
+// handleTrajectory routes /v1/trajectories/{id}[/{op}].
+func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/trajectories/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := parts[0]
+	op := ""
+	if len(parts) == 2 {
+		op = parts[1]
+	}
+	s.mu.Lock()
+	traj := s.trajectories[id]
+	s.mu.Unlock()
+	if traj == nil {
+		writeError(w, http.StatusNotFound, "unknown trajectory %q", id)
+		return
+	}
+	if r.Method == http.MethodDelete && op == "" {
+		s.mu.Lock()
+		delete(s.trajectories, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	switch op {
+	case "stay":
+		s.handleStay(w, r, traj)
+	case "match":
+		s.handleMatch(w, r, traj)
+	case "top":
+		s.handleTop(w, r, traj)
+	case "occupancy":
+		s.handleOccupancy(w, traj)
+	case "":
+		st := traj.cleaned.Stats()
+		writeJSON(w, http.StatusOK, CleanResponse{ID: traj.id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes})
+	default:
+		writeError(w, http.StatusNotFound, "unknown operation %q", op)
+	}
+}
+
+// LocationProb is one entry of a distribution, labeled with the location
+// name.
+type LocationProb struct {
+	Location string  `json:"location"`
+	P        float64 `json:"p"`
+}
+
+func (s *Server) handleStay(w http.ResponseWriter, r *http.Request, traj *trajectory) {
+	tau, err := strconv.Atoi(r.URL.Query().Get("t"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "missing or invalid ?t= timestamp")
+		return
+	}
+	dist, err := traj.cleaned.StayDistribution(tau)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]LocationProb, 0)
+	for loc, p := range dist {
+		if p > 0 {
+			out = append(out, LocationProb{Location: traj.cleaned.LocationName(loc), P: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P > out[j].P })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request, traj *trajectory) {
+	pattern := r.URL.Query().Get("pattern")
+	if pattern == "" {
+		writeError(w, http.StatusBadRequest, "missing ?pattern=")
+		return
+	}
+	p, err := traj.cleaned.Match(pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"p": p})
+}
+
+// TopTrajectory is one entry of the top-k answer, rendered as location runs.
+type TopTrajectory struct {
+	P    float64  `json:"p"`
+	Runs []string `json:"runs"` // "location x seconds"
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, traj *trajectory) {
+	k := 1
+	if q := r.URL.Query().Get("k"); q != "" {
+		var err error
+		if k, err = strconv.Atoi(q); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, "invalid ?k=")
+			return
+		}
+	}
+	if k > 100 {
+		k = 100
+	}
+	trajs, probs := traj.cleaned.TopK(k)
+	out := make([]TopTrajectory, len(trajs))
+	for i := range trajs {
+		out[i] = TopTrajectory{P: probs[i], Runs: runs(traj.cleaned, trajs[i])}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleOccupancy(w http.ResponseWriter, traj *trajectory) {
+	occ := traj.cleaned.ExpectedOccupancy()
+	out := make([]LocationProb, 0)
+	for loc, sec := range occ {
+		if sec > 1e-9 {
+			out = append(out, LocationProb{Location: traj.cleaned.LocationName(loc), P: sec})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P > out[j].P })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runs renders a trajectory as "location xN" segments.
+func runs(c *rfidclean.Cleaned, locs []int) []string {
+	var out []string
+	start := 0
+	for i := 1; i <= len(locs); i++ {
+		if i == len(locs) || locs[i] != locs[start] {
+			out = append(out, fmt.Sprintf("%s x%d", c.LocationName(locs[start]), i-start))
+			start = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	rfidclean "repro"
+)
+
+// testDeployment returns a small serialized deployment and the System it
+// describes (for generating readings).
+func testDeployment(t *testing.T) ([]byte, *rfidclean.System) {
+	t.Helper()
+	b := rfidclean.NewMapBuilder()
+	cor := b.AddLocation("corridor", rfidclean.Corridor, 0, rfidclean.RectWH(0, 0, 12, 3))
+	lab := b.AddLocation("lab", rfidclean.Room, 0, rfidclean.RectWH(0, 3, 6, 5))
+	office := b.AddLocation("office", rfidclean.Room, 0, rfidclean.RectWH(6, 3, 6, 5))
+	b.AddDoor(cor, lab, rfidclean.Pt(3, 3), 1)
+	b.AddDoor(cor, office, rfidclean.Pt(9, 3), 1)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := &rfidclean.Deployment{
+		Name: "test",
+		Plan: plan,
+		Readers: []rfidclean.Reader{
+			{ID: 0, Name: "r-lab", Floor: 0, Pos: rfidclean.Pt(3, 5.5)},
+			{ID: 1, Name: "r-office", Floor: 0, Pos: rfidclean.Pt(9, 5.5)},
+			{ID: 2, Name: "r-cor", Floor: 0, Pos: rfidclean.Pt(6, 1.5)},
+		},
+		Detection:          rfidclean.DefaultThreeState(),
+		CellSize:           0.5,
+		CalibrationSamples: 30,
+		Seed:               5,
+	}
+	var buf bytes.Buffer
+	if err := dep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dep.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sys
+}
+
+// harness spins up the server and registers the test deployment, returning
+// the base URL, the deployment id, and readings for a known trajectory.
+func harness(t *testing.T) (base string, depID string, sys *rfidclean.System, readings rfidclean.ReadingSequence) {
+	t.Helper()
+	depJSON, sys := testDeployment(t)
+	ts := httptest.NewServer(New())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/deployments", "application/json", bytes.NewReader(depJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rfidclean.NewRNG(77)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(90), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.URL, created["id"], sys, rfidclean.GenerateReadings(truth, sys.Truth, rng)
+}
+
+func postClean(t *testing.T, base string, req CleanRequest) (*http.Response, CleanResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/clean", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CleanResponse
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	base, depID, _, readings := harness(t)
+
+	// List deployments.
+	var list []map[string]any
+	if code := getJSON(t, base+"/v1/deployments", &list); code != http.StatusOK {
+		t.Fatalf("list status = %d", code)
+	}
+	if len(list) != 1 {
+		t.Fatalf("deployments = %v", list)
+	}
+
+	// Clean.
+	resp, cleaned := postClean(t, base, CleanRequest{
+		Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("clean status = %d", resp.StatusCode)
+	}
+	if cleaned.Nodes == 0 || cleaned.Edges == 0 {
+		t.Fatalf("empty graph: %+v", cleaned)
+	}
+
+	// Stay query.
+	var stay []LocationProb
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/stay?t=45", base, cleaned.ID), &stay); code != http.StatusOK {
+		t.Fatalf("stay status = %d", code)
+	}
+	total := 0.0
+	for _, lp := range stay {
+		total += lp.P
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("stay distribution sums to %v", total)
+	}
+	if len(stay) > 1 && stay[0].P < stay[1].P {
+		t.Errorf("stay answer not sorted")
+	}
+
+	// Pattern query.
+	var match map[string]float64
+	url := fmt.Sprintf("%s/v1/trajectories/%s/match?pattern=%s", base, cleaned.ID, "%3F+lab+%3F")
+	if code := getJSON(t, url, &match); code != http.StatusOK {
+		t.Fatalf("match status = %d", code)
+	}
+	if p := match["p"]; p < 0 || p > 1 {
+		t.Errorf("match p = %v", p)
+	}
+
+	// Top-k.
+	var top []TopTrajectory
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/top?k=3", base, cleaned.ID), &top); code != http.StatusOK {
+		t.Fatalf("top status = %d", code)
+	}
+	if len(top) == 0 || len(top[0].Runs) == 0 {
+		t.Fatalf("top = %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].P > top[i-1].P {
+			t.Errorf("top-k not sorted")
+		}
+	}
+
+	// Occupancy.
+	var occ []LocationProb
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/occupancy", base, cleaned.ID), &occ); code != http.StatusOK {
+		t.Fatalf("occupancy status = %d", code)
+	}
+	total = 0
+	for _, lp := range occ {
+		total += lp.P
+	}
+	if total < 89.9 || total > 90.1 {
+		t.Errorf("occupancy sums to %v, want ~90", total)
+	}
+
+	// Graph stats endpoint.
+	var stats CleanResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s", base, cleaned.ID), &stats); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if stats.Nodes != cleaned.Nodes {
+		t.Errorf("stats mismatch")
+	}
+
+	// Delete, then queries 404.
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/trajectories/%s", base, cleaned.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", dresp.StatusCode)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/stay?t=1", base, cleaned.ID), nil); code != http.StatusNotFound {
+		t.Errorf("deleted trajectory still queryable (%d)", code)
+	}
+}
+
+func TestServerGroupCleaning(t *testing.T) {
+	base, depID, sys, readings := harness(t)
+	rng := rfidclean.NewRNG(3)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(90), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := rfidclean.GenerateReadings(truth, sys.Truth, rng)
+	_ = readings
+	first := rfidclean.GenerateReadings(truth, sys.Truth, rng)
+
+	resp, cleaned := postClean(t, base, CleanRequest{
+		Deployment: depID, Readings: first,
+		Group:    []rfidclean.ReadingSequence{second},
+		MaxSpeed: 2, MinStay: 5,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("group clean status = %d", resp.StatusCode)
+	}
+	if cleaned.Nodes == 0 {
+		t.Fatalf("empty group graph")
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	base, depID, _, readings := harness(t)
+
+	// Bad deployment body.
+	resp, err := http.Post(base+"/v1/deployments", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad deployment status = %d", resp.StatusCode)
+	}
+
+	// Unknown deployment.
+	if r, _ := postClean(t, base, CleanRequest{Deployment: "d999", Readings: readings, MaxSpeed: 2}); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown deployment status = %d", r.StatusCode)
+	}
+	// Missing speed.
+	if r, _ := postClean(t, base, CleanRequest{Deployment: depID, Readings: readings}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero speed status = %d", r.StatusCode)
+	}
+	// Invalid readings.
+	bad := rfidclean.ReadingSequence{{Time: 7}}
+	if r, _ := postClean(t, base, CleanRequest{Deployment: depID, Readings: bad, MaxSpeed: 2}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid readings status = %d", r.StatusCode)
+	}
+	// Unknown trajectory.
+	if code := getJSON(t, base+"/v1/trajectories/t999/stay?t=1", nil); code != http.StatusNotFound {
+		t.Errorf("unknown trajectory status = %d", code)
+	}
+	// Clean something for the remaining checks.
+	_, cleaned := postClean(t, base, CleanRequest{Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5})
+	// Bad stay timestamp.
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/stay?t=oops", base, cleaned.ID), nil); code != http.StatusBadRequest {
+		t.Errorf("bad stay status = %d", code)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/stay?t=9999", base, cleaned.ID), nil); code != http.StatusBadRequest {
+		t.Errorf("out-of-window stay status = %d", code)
+	}
+	// Missing pattern.
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/match", base, cleaned.ID), nil); code != http.StatusBadRequest {
+		t.Errorf("missing pattern status = %d", code)
+	}
+	// Pattern naming an unknown location.
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/match?pattern=%s", base, cleaned.ID, "%3F+mars+%3F"), nil); code != http.StatusBadRequest {
+		t.Errorf("unknown pattern location status = %d", code)
+	}
+	// Bad k.
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/top?k=0", base, cleaned.ID), nil); code != http.StatusBadRequest {
+		t.Errorf("bad k status = %d", code)
+	}
+	// Unknown op.
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/nope", base, cleaned.ID), nil); code != http.StatusNotFound {
+		t.Errorf("unknown op status = %d", code)
+	}
+	// Wrong methods.
+	resp, err = http.Post(fmt.Sprintf("%s/v1/trajectories/%s/stay?t=1", base, cleaned.ID), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST to stay status = %d", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/deployments", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT deployments status = %d", presp.StatusCode)
+	}
+	gresp, err := http.Get(base + "/v1/clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET clean status = %d", gresp.StatusCode)
+	}
+}
+
+func TestServerInconsistentReadings(t *testing.T) {
+	// A rooms-only deployment (no LT-exempt corridor): a minimum stay far
+	// longer than the window makes every interpretation invalid under
+	// strict end-of-window semantics.
+	b := rfidclean.NewMapBuilder()
+	a := b.AddLocation("east", rfidclean.Room, 0, rfidclean.RectWH(0, 0, 5, 5))
+	c := b.AddLocation("west", rfidclean.Room, 0, rfidclean.RectWH(5, 0, 5, 5))
+	b.AddDoor(a, c, rfidclean.Pt(5, 2.5), 1)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := &rfidclean.Deployment{
+		Name: "rooms-only",
+		Plan: plan,
+		Readers: []rfidclean.Reader{
+			{ID: 0, Name: "r-east", Floor: 0, Pos: rfidclean.Pt(2.5, 2.5)},
+			{ID: 1, Name: "r-west", Floor: 0, Pos: rfidclean.Pt(7.5, 2.5)},
+		},
+		Detection:          rfidclean.DefaultThreeState(),
+		CellSize:           0.5,
+		CalibrationSamples: 30,
+		Seed:               2,
+	}
+	var buf bytes.Buffer
+	if err := dep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New())
+	t.Cleanup(ts.Close)
+	resp, err := http.Post(ts.URL+"/v1/deployments", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	readings := make(rfidclean.ReadingSequence, 30)
+	for i := range readings {
+		readings[i] = rfidclean.Reading{Time: i, Readers: rfidclean.NewReaderSet(0)}
+	}
+	cresp, _ := postClean(t, ts.URL, CleanRequest{
+		Deployment: created["id"], Readings: readings,
+		MaxSpeed: 2, MinStay: 10000, StrictEnd: true,
+	})
+	if cresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("inconsistent clean status = %d, want 422", cresp.StatusCode)
+	}
+}

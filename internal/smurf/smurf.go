@@ -1,0 +1,155 @@
+// Package smurf implements a SMURF-style adaptive smoothing baseline for
+// RFID data cleaning, after Jeffery, Garofalakis and Franklin ("Adaptive
+// cleaning for RFID data streams", VLDB 2006) — the technique the paper's
+// related-work section (§7) identifies as the principal prior approach to
+// cleaning RFID readings.
+//
+// SMURF treats each (tag, reader) pair as an independent binary detection
+// stream sampled from a binomial process and smooths it with a sliding
+// window whose size adapts per reader:
+//
+//   - completeness: the window must be long enough that a present tag is
+//     detected with probability ≥ 1−δ, i.e. w ≥ ln(1/δ) / p̂ where p̂ is the
+//     estimated per-epoch read rate;
+//   - responsiveness: when the detection count falls statistically below
+//     the binomial expectation (a likely transition), the window shrinks
+//     multiplicatively so stale positives fade quickly.
+//
+// Unlike the paper's conditioning framework, SMURF operates reader by
+// reader and knows nothing about the map or the motility of the monitored
+// objects: it cannot exploit the spatio-temporal correlations that DU/LT/TT
+// constraints encode. The experiment harness uses it as the baseline the
+// ct-graph approach is compared against.
+package smurf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rfid"
+)
+
+// Options configures the smoother. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	// Delta is the completeness failure probability δ (default 0.05).
+	Delta float64
+	// MinWindow and MaxWindow bound the adaptive window size in epochs.
+	MinWindow, MaxWindow int
+	// MinRate floors the estimated per-epoch read rate so required
+	// windows stay finite for weak readers.
+	MinRate float64
+}
+
+// DefaultOptions returns the standard SMURF parameters.
+func DefaultOptions() Options {
+	return Options{Delta: 0.05, MinWindow: 1, MaxWindow: 25, MinRate: 0.1}
+}
+
+func (o Options) validate() error {
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("smurf: delta must be in (0,1), got %g", o.Delta)
+	}
+	if o.MinWindow < 1 || o.MaxWindow < o.MinWindow {
+		return fmt.Errorf("smurf: bad window bounds [%d, %d]", o.MinWindow, o.MaxWindow)
+	}
+	if o.MinRate <= 0 || o.MinRate > 1 {
+		return fmt.Errorf("smurf: min rate must be in (0,1], got %g", o.MinRate)
+	}
+	return nil
+}
+
+// Smooth cleans a reading sequence reader by reader: the returned sequence
+// reports reader r as detecting at epoch t when r's adaptive window ending
+// at t contains at least one raw detection. readerIDs lists every reader
+// that should be smoothed (readers absent from it pass through untouched —
+// they can never appear in the output since they never appear in the input).
+func Smooth(seq rfid.Sequence, readerIDs []int, opts Options) (rfid.Sequence, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := seq.Duration()
+	present := make([][]bool, n) // per epoch: smoothed presence per reader index
+	for t := range present {
+		present[t] = make([]bool, len(readerIDs))
+	}
+	for ri, id := range readerIDs {
+		smoothOne(seq, id, opts, func(t int) { present[t][ri] = true })
+	}
+	out := make(rfid.Sequence, n)
+	for t := 0; t < n; t++ {
+		var ids []int
+		for ri, on := range present[t] {
+			if on {
+				ids = append(ids, readerIDs[ri])
+			}
+		}
+		out[t] = rfid.Reading{Time: t, Readers: rfid.NewSet(ids...)}
+	}
+	return out, nil
+}
+
+// smoothOne runs the adaptive window over one reader's binary stream,
+// invoking mark(t) for every epoch at which the smoothed stream reports the
+// tag as read by the reader.
+func smoothOne(seq rfid.Sequence, readerID int, opts Options, mark func(int)) {
+	w := opts.MinWindow
+	// pEst is the running estimate of the per-epoch read rate while the
+	// tag is in range (SMURF obtains this from the reader hardware's
+	// response rates; we estimate it from the observed stream with an
+	// exponential moving average updated only while detections arrive).
+	pEst := math.Max(opts.MinRate, 0.5)
+	for t := 0; t < seq.Duration(); t++ {
+		start := t - w + 1
+		if start < 0 {
+			start = 0
+		}
+		count := 0
+		for u := start; u <= t; u++ {
+			if seq[u].Readers.Contains(readerID) {
+				count++
+			}
+		}
+		effLen := t - start + 1
+		if count > 0 {
+			mark(t)
+			pEst = 0.9*pEst + 0.1*float64(count)/float64(effLen)
+			if pEst < opts.MinRate {
+				pEst = opts.MinRate
+			}
+		}
+		// Completeness: the window a present tag needs to be caught
+		// with probability >= 1-delta under the binomial model.
+		required := int(math.Ceil(math.Log(1/opts.Delta) / pEst))
+		if required > opts.MaxWindow {
+			required = opts.MaxWindow
+		}
+		if required < opts.MinWindow {
+			required = opts.MinWindow
+		}
+		// Transition detection: an observed count statistically below
+		// the binomial expectation for a present tag signals that the
+		// tag has likely left the reader's range; shrink to respond.
+		mean := float64(effLen) * pEst
+		sd := math.Sqrt(float64(effLen) * pEst * (1 - pEst))
+		if count > 0 && float64(count) < mean-2*sd {
+			w /= 2
+			if w < opts.MinWindow {
+				w = opts.MinWindow
+			}
+			continue
+		}
+		// Otherwise grow additively toward the completeness window.
+		if w < required {
+			w += 2
+			if w > required {
+				w = required
+			}
+		} else if w > required {
+			w--
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package smurf
+
+import (
+	"testing"
+
+	"repro/internal/rfid"
+	"repro/internal/stats"
+)
+
+// seqFromBits builds a single-reader sequence from a 0/1 string.
+func seqFromBits(bits string) rfid.Sequence {
+	seq := make(rfid.Sequence, len(bits))
+	for i, b := range bits {
+		r := rfid.NewSet()
+		if b == '1' {
+			r = rfid.NewSet(0)
+		}
+		seq[i] = rfid.Reading{Time: i, Readers: r}
+	}
+	return seq
+}
+
+func detections(seq rfid.Sequence, reader int) string {
+	out := make([]byte, len(seq))
+	for i, r := range seq {
+		if r.Readers.Contains(reader) {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{},
+		{Delta: 1.5, MinWindow: 1, MaxWindow: 5, MinRate: 0.1},
+		{Delta: 0.05, MinWindow: 0, MaxWindow: 5, MinRate: 0.1},
+		{Delta: 0.05, MinWindow: 5, MaxWindow: 1, MinRate: 0.1},
+		{Delta: 0.05, MinWindow: 1, MaxWindow: 5, MinRate: 0},
+	}
+	seq := seqFromBits("101")
+	for i, o := range bad {
+		if _, err := Smooth(seq, []int{0}, o); err == nil {
+			t.Errorf("options %d accepted", i)
+		}
+	}
+	if _, err := Smooth(rfid.Sequence{{Time: 3}}, []int{0}, DefaultOptions()); err == nil {
+		t.Errorf("invalid sequence accepted")
+	}
+}
+
+func TestSmoothFillsGaps(t *testing.T) {
+	// A present tag with intermittent misses: smoothing must fill the
+	// holes between detections.
+	raw := "1101011011101101"
+	smoothed, err := Smooth(seqFromBits(raw), []int{0}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := detections(smoothed, 0)
+	zeros := 0
+	for _, b := range got[1:] { // first epoch may have no history
+		if b == '0' {
+			zeros++
+		}
+	}
+	if zeros > 0 {
+		t.Errorf("gaps not filled: raw %s -> %s", raw, got)
+	}
+}
+
+func TestSmoothPreservesAbsence(t *testing.T) {
+	// A tag never seen by the reader must never be reported.
+	smoothed, err := Smooth(seqFromBits("0000000000"), []int{0}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range smoothed {
+		if !r.Readers.IsEmpty() {
+			t.Fatalf("phantom detection: %v", smoothed)
+		}
+	}
+}
+
+func TestSmoothRespondsToDeparture(t *testing.T) {
+	// Strong presence followed by a long absence: the smoothed stream must
+	// stop reporting the tag within MaxWindow epochs of the departure.
+	raw := "11111111110000000000000000000000000000"
+	opts := DefaultOptions()
+	smoothed, err := Smooth(seqFromBits(raw), []int{0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := detections(smoothed, 0)
+	lastReported := -1
+	for i, b := range got {
+		if b == '1' {
+			lastReported = i
+		}
+	}
+	if lastReported < 9 {
+		t.Fatalf("presence not reported at all: %s", got)
+	}
+	if lastReported >= 10+opts.MaxWindow {
+		t.Errorf("departure reported too late (epoch %d): %s", lastReported, got)
+	}
+}
+
+func TestSmoothMultipleReaders(t *testing.T) {
+	// Two readers with complementary coverage stay independent.
+	seq := rfid.Sequence{
+		{Time: 0, Readers: rfid.NewSet(0)},
+		{Time: 1, Readers: rfid.NewSet(0)},
+		{Time: 2, Readers: rfid.NewSet(1)},
+		{Time: 3, Readers: rfid.NewSet(1)},
+	}
+	smoothed, err := Smooth(seq, []int{0, 1}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smoothed[0].Readers.Contains(0) || smoothed[0].Readers.Contains(1) {
+		t.Errorf("epoch 0 wrong: %v", smoothed[0].Readers)
+	}
+	if !smoothed[3].Readers.Contains(1) {
+		t.Errorf("epoch 3 wrong: %v", smoothed[3].Readers)
+	}
+}
+
+func TestSmoothImprovesDetectionRecall(t *testing.T) {
+	// Statistical sanity: under a lossy channel (40% per-epoch read rate)
+	// the smoothed stream recovers most of the presence epochs while
+	// keeping false positives bounded by the window length after the
+	// departure.
+	rng := stats.NewRNG(99)
+	const present = 200
+	const absent = 100
+	bits := make([]byte, present+absent)
+	truePresent := 0
+	for i := 0; i < present; i++ {
+		if rng.Bernoulli(0.4) {
+			bits[i] = '1'
+		} else {
+			bits[i] = '0'
+		}
+		truePresent++
+	}
+	for i := present; i < present+absent; i++ {
+		bits[i] = '0'
+	}
+	smoothed, err := Smooth(seqFromBits(string(bits)), []int{0}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := detections(smoothed, 0)
+	recovered := 0
+	for i := 0; i < present; i++ {
+		if got[i] == '1' {
+			recovered++
+		}
+	}
+	recall := float64(recovered) / float64(truePresent)
+	if recall < 0.9 {
+		t.Errorf("recall = %v, want >= 0.9", recall)
+	}
+	falseTail := 0
+	for i := present + DefaultOptions().MaxWindow; i < present+absent; i++ {
+		if got[i] == '1' {
+			falseTail++
+		}
+	}
+	if falseTail > 0 {
+		t.Errorf("%d false positives beyond the window after departure", falseTail)
+	}
+}

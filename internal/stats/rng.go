@@ -1,0 +1,165 @@
+// Package stats provides the small numeric substrate shared by the synthetic
+// data generator and the experiment harness: a seeded, reproducible random
+// number generator and summary statistics.
+//
+// A dedicated RNG (rather than math/rand's global state) keeps every dataset
+// and experiment bit-reproducible from a seed, which the paper's evaluation
+// methodology (fixed synthetic datasets SYN1/SYN2) depends on.
+package stats
+
+import "math"
+
+// RNG is a small, fast, seedable pseudo-random number generator
+// (xorshift64*). The zero value is not usable; construct with NewRNG.
+// RNG is not safe for concurrent use; give each goroutine its own, split off
+// with Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Any seed is acceptable;
+// seed 0 is remapped internally to a fixed non-zero constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := &RNG{state: seed}
+	// Warm up so that nearby seeds diverge immediately.
+	for i := 0; i < 4; i++ {
+		r.Uint64()
+	}
+	return r
+}
+
+// Split returns a new independent generator derived from r's stream.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() | 1)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand's contract.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi). When hi <= lo it returns lo.
+func (r *RNG) Range(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. When hi < lo it
+// returns lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Pick returns a uniformly chosen index weighted by the non-negative weights.
+// It returns -1 when the weights are empty or sum to zero.
+func (r *RNG) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N           int
+	Mean        float64
+	StdDev      float64
+	Min, Max    float64
+	Sum         float64
+	SampleCount int // alias of N kept for clarity in reports
+}
+
+// Summarize computes descriptive statistics of xs. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), SampleCount: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

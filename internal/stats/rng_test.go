@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds agree on %d/100 draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Errorf("zero seed produced degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n = 100000
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("bucket %d has fraction %v", i, frac)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Intn(5) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRangeAndIntRange(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		x := r.Range(2, 5)
+		if x < 2 || x >= 5 {
+			t.Fatalf("Range out of bounds: %v", x)
+		}
+		n := r.IntRange(3, 7)
+		if n < 3 || n > 7 {
+			t.Fatalf("IntRange out of bounds: %d", n)
+		}
+	}
+	if r.Range(4, 4) != 4 {
+		t.Errorf("empty Range should return lo")
+	}
+	if r.IntRange(4, 2) != 4 {
+		t.Errorf("inverted IntRange should return lo")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", frac)
+	}
+	if r.Bernoulli(0) {
+		t.Errorf("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1.1) {
+		t.Errorf("Bernoulli(>1) returned false")
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(13)
+	if got := r.Pick(nil); got != -1 {
+		t.Errorf("Pick(nil) = %d", got)
+	}
+	if got := r.Pick([]float64{0, 0}); got != -1 {
+		t.Errorf("Pick(zeros) = %d", got)
+	}
+	// Weight 0 entries must never be picked.
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight entry picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRNG(17)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	// Same multiset.
+	seen := make(map[int]int)
+	for _, x := range xs {
+		seen[x]++
+	}
+	for _, x := range orig {
+		if seen[x] != 1 {
+			t.Fatalf("shuffle changed contents: %v", xs)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(23)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams agree on %d/100 draws", same)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+	s = Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample stddev of this classic dataset is ~2.138.
+	if math.Abs(s.StdDev-2.13809) > 1e-4 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	one := Summarize([]float64{3})
+	if one.StdDev != 0 || one.Mean != 3 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Errorf("Mean wrong")
+	}
+}

@@ -1,0 +1,157 @@
+// Package viz renders floor plans and per-location intensities as ASCII
+// art, for CLI diagnostics: inspecting a deployment's geometry, or
+// overlaying cleaned-data quantities (stay marginals, expected occupancy)
+// on the map.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+// Options configures rendering. The zero value uses sensible defaults.
+type Options struct {
+	// CharSize is the map extent covered by one character cell in meters
+	// (default 0.5; characters are drawn 2:1 to compensate for terminal
+	// aspect ratio, so a character is CharSize wide and 2*CharSize tall).
+	CharSize float64
+	// Intensity, when non-nil, shades each location by Intensity[locID]
+	// (relative to the maximum). Use stay marginals, occupancy seconds…
+	Intensity []float64
+	// Readers marks reader positions with 'R'.
+	Readers []geom.Point
+	// Labels writes each location's index letter in its center.
+	Labels bool
+}
+
+// shades orders the fill characters from empty to full.
+var shades = []byte{' ', '.', ':', '+', '*', '@'}
+
+// RenderFloor draws one floor of the plan. Walls are '#', doors are gaps,
+// locations are shaded by intensity (blank when no intensity is given).
+func RenderFloor(plan *floorplan.Plan, floor int, opts Options) string {
+	charW := opts.CharSize
+	if charW <= 0 {
+		charW = 0.5
+	}
+	charH := 2 * charW
+	outline := plan.Outline()
+	cols := int(math.Ceil(outline.Width()/charW)) + 1
+	rows := int(math.Ceil(outline.Height()/charH)) + 1
+
+	maxIntensity := 0.0
+	for _, v := range opts.Intensity {
+		if v > maxIntensity {
+			maxIntensity = v
+		}
+	}
+
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	// Character centers sample the map top-down (row 0 = max Y).
+	at := func(r, c int) geom.Point {
+		return geom.Pt(
+			outline.Min.X+(float64(c)+0.5)*charW,
+			outline.Max.Y-(float64(r)+0.5)*charH,
+		)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			p := at(r, c)
+			loc := plan.LocationAt(floor, p)
+			if loc < 0 {
+				continue
+			}
+			ch := byte(' ')
+			if opts.Intensity != nil && loc < len(opts.Intensity) && maxIntensity > 0 {
+				frac := opts.Intensity[loc] / maxIntensity
+				idx := int(frac * float64(len(shades)-1))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+				ch = shades[idx]
+			}
+			grid[r][c] = ch
+		}
+	}
+	// Walls: mark characters whose cell (charW x charH around the center)
+	// is crossed by a wall segment on this floor.
+	for _, w := range plan.Walls() {
+		if w.Floor != floor {
+			continue
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				center := at(r, c)
+				if segmentNearCell(w.Seg, center, charW/2, charH/2) {
+					grid[r][c] = '#'
+				}
+			}
+		}
+	}
+	// Labels at location centers (drawn before readers so antennas stay
+	// visible).
+	if opts.Labels {
+		for _, l := range plan.Locations() {
+			if l.Floor != floor {
+				continue
+			}
+			center := l.Bounds.Center()
+			c := int((center.X - outline.Min.X) / charW)
+			r := int((outline.Max.Y - center.Y) / charH)
+			if r >= 0 && r < rows && c >= 0 && c < cols {
+				grid[r][c] = byte('a' + l.ID%26)
+			}
+		}
+	}
+	// Readers.
+	for _, rp := range opts.Readers {
+		c := int((rp.X - outline.Min.X) / charW)
+		r := int((outline.Max.Y - rp.Y) / charH)
+		if r >= 0 && r < rows && c >= 0 && c < cols {
+			grid[r][c] = 'R'
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "floor %d (%gm x %gm, 1 char = %gm x %gm)\n",
+		floor, outline.Width(), outline.Height(), charW, charH)
+	for r := 0; r < rows; r++ {
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// segmentNearCell reports whether segment s passes within the (halfW, halfH)
+// box around center.
+func segmentNearCell(s geom.Segment, center geom.Point, halfW, halfH float64) bool {
+	box := geom.NewRect(
+		geom.Pt(center.X-halfW, center.Y-halfH),
+		geom.Pt(center.X+halfW, center.Y+halfH),
+	)
+	if box.Contains(s.A) || box.Contains(s.B) {
+		return true
+	}
+	for _, e := range box.Edges() {
+		if s.Intersects(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Legend returns a short explanation of the shading characters for the given
+// quantity name.
+func Legend(quantity string) string {
+	return fmt.Sprintf("shading (%s, low to high): %q", quantity, string(shades))
+}

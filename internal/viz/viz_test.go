@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+func testPlan(t *testing.T) *floorplan.Plan {
+	t.Helper()
+	b := floorplan.NewBuilder()
+	a := b.AddLocation("A", floorplan.Room, 0, geom.RectWH(0, 0, 6, 4))
+	c := b.AddLocation("B", floorplan.Room, 0, geom.RectWH(6, 0, 6, 4))
+	b.AddDoor(a, c, geom.Pt(6, 2), 1.5)
+	b.AddLocation("up", floorplan.Room, 1, geom.RectWH(0, 0, 6, 4))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRenderFloorBasics(t *testing.T) {
+	p := testPlan(t)
+	out := RenderFloor(p, 0, Options{})
+	if !strings.Contains(out, "floor 0") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("no walls rendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	// All grid rows have equal width.
+	width := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != width {
+			t.Fatalf("ragged rows:\n%s", out)
+		}
+	}
+}
+
+func TestRenderFloorDeterministic(t *testing.T) {
+	p := testPlan(t)
+	if RenderFloor(p, 0, Options{}) != RenderFloor(p, 0, Options{}) {
+		t.Errorf("rendering not deterministic")
+	}
+}
+
+func TestRenderFloorIntensityAndReaders(t *testing.T) {
+	p := testPlan(t)
+	out := RenderFloor(p, 0, Options{
+		Intensity: []float64{1, 0.01, 0},
+		Readers:   []geom.Point{{X: 1.2, Y: 1}},
+		Labels:    true,
+	})
+	if !strings.Contains(out, "@") {
+		t.Errorf("hot location not shaded:\n%s", out)
+	}
+	if !strings.Contains(out, "R") {
+		t.Errorf("reader marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+}
+
+func TestRenderOtherFloor(t *testing.T) {
+	p := testPlan(t)
+	out0 := RenderFloor(p, 0, Options{Labels: true})
+	out1 := RenderFloor(p, 1, Options{Labels: true})
+	if out0 == out1 {
+		t.Errorf("floors render identically")
+	}
+	if !strings.Contains(out1, "c") {
+		t.Errorf("floor-1 room missing:\n%s", out1)
+	}
+}
+
+func TestLegend(t *testing.T) {
+	if !strings.Contains(Legend("occupancy"), "occupancy") {
+		t.Errorf("legend missing quantity")
+	}
+}
+
+func TestRenderZeroIntensity(t *testing.T) {
+	p := testPlan(t)
+	// All-zero intensity must not divide by zero.
+	out := RenderFloor(p, 0, Options{Intensity: []float64{0, 0, 0}})
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
