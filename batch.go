@@ -1,0 +1,79 @@
+package rfidclean
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchOptions configures CleanAll.
+type BatchOptions struct {
+	// Build configures ct-graph construction for every sequence (nil uses
+	// the defaults, i.e. StrictEnd semantics).
+	Build *BuildOptions
+	// Workers caps the number of sequences cleaned concurrently. Zero or
+	// negative uses GOMAXPROCS.
+	Workers int
+}
+
+func (o *BatchOptions) workers() int {
+	if o != nil && o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o *BatchOptions) build() *BuildOptions {
+	if o == nil {
+		return nil
+	}
+	return o.Build
+}
+
+// CleanAll cleans many objects' reading sequences concurrently over a
+// bounded worker pool. Per-object cleaning is embarrassingly parallel — the
+// prior and the constraint set are shared read-mostly state safe for
+// concurrent use — so a warehouse-scale batch (the deployment shape of
+// distributed RFID inference pipelines) splits cleanly across cores.
+//
+// The results are positional: cleaned[i] and errs[i] correspond to
+// readings[i], and exactly one of them is non-nil. A sequence the
+// constraints rule out entirely yields ErrNoValidTrajectory in its slot;
+// one bad sequence never aborts the rest of the batch.
+func (s *System) CleanAll(readings []ReadingSequence, ic *ConstraintSet, opts *BatchOptions) (cleaned []*Cleaned, errs []error) {
+	cleaned = make([]*Cleaned, len(readings))
+	errs = make([]error, len(readings))
+	if len(readings) == 0 {
+		return cleaned, errs
+	}
+	if s.Prior == nil {
+		err := fmt.Errorf("rfidclean: no prior; call CalibratePrior or SetPrior first")
+		for i := range errs {
+			errs[i] = err
+		}
+		return cleaned, errs
+	}
+	workers := opts.workers()
+	if workers > len(readings) {
+		workers = len(readings)
+	}
+	build := opts.build()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cleaned[i], errs[i] = s.Clean(readings[i], ic, build)
+			}
+		}()
+	}
+	for i := range readings {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return cleaned, errs
+}

@@ -95,8 +95,9 @@ func (c *Cleaned) ExpectedVisitTime(location string, from, to int) (float64, err
 }
 
 // Marginals returns the conditioned per-timestamp distribution over
-// locations: out[τ][locID].
-func (c *Cleaned) Marginals() [][]float64 {
+// locations: out[τ][locID]. It returns an error when the graph mentions a
+// location ID the plan does not know about.
+func (c *Cleaned) Marginals() ([][]float64, error) {
 	return c.graph.Marginals(c.plan.NumLocations())
 }
 
@@ -120,14 +121,18 @@ func (c *Cleaned) TopK(k int) ([][]int, []float64) {
 // ExpectedOccupancy returns, per location ID, the expected number of
 // timestamps the object spent there under the conditioned distribution
 // (the values sum to the window duration).
-func (c *Cleaned) ExpectedOccupancy() []float64 {
+func (c *Cleaned) ExpectedOccupancy() ([]float64, error) {
+	m, err := c.Marginals()
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, c.plan.NumLocations())
-	for _, row := range c.Marginals() {
+	for _, row := range m {
 		for loc, p := range row {
 			out[loc] += p
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Encode writes the conditioned trajectory graph as JSON; reload it with

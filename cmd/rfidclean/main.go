@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/constraints"
 	"repro/internal/core"
@@ -41,6 +43,7 @@ func main() {
 		samples = flag.Int("samples", 0, "sample N valid trajectories and report location utilization")
 		strict  = flag.Bool("strict-end", false, "use Definition 2's strict end-of-window latency semantics")
 		render  = flag.Bool("render", false, "render each floor as ASCII art shaded by expected occupancy")
+		workers = flag.Int("workers", 1, "build ct-graphs for the instances concurrently (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -77,20 +80,20 @@ func main() {
 		mode = constraints.StrictEnd
 	}
 
+	// Build every instance's ct-graph first — concurrently when -workers
+	// allows it — then report in input order.
+	graphs, buildErrs := buildAll(file.Instances, d, ic, mode, *workers)
+
 	for i, inst := range file.Instances {
 		fmt.Printf("=== instance %d (%d s, %s, %s) ===\n", i, inst.Duration, file.Dataset, sel)
-		ls, err := d.Prior.LSequence(inst.Readings)
-		if err != nil {
+		if err := buildErrs[i]; err != nil {
+			if errors.Is(err, core.ErrNoValidTrajectory) {
+				fmt.Println("  readings are inconsistent with the constraints; nothing to clean")
+				continue
+			}
 			log.Fatal(err)
 		}
-		g, err := core.Build(ls, ic, &core.Options{EndLatency: mode})
-		if errors.Is(err, core.ErrNoValidTrajectory) {
-			fmt.Println("  readings are inconsistent with the constraints; nothing to clean")
-			continue
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
+		g := graphs[i]
 		st := g.Stats()
 		fmt.Printf("  ct-graph: %d nodes, %d edges, ~%.1f KB\n", st.Nodes, st.Edges, float64(st.Bytes)/1024)
 
@@ -185,6 +188,42 @@ func main() {
 			fmt.Printf("  sampled utilization (%d samples): %s\n", *samples, topK(normalize(sec), d, 5))
 		}
 	}
+}
+
+// buildAll conditions every instance on the constraints, running up to
+// workers builds concurrently (0 means GOMAXPROCS). Results are positional:
+// graphs[i] / errs[i] belong to instances[i].
+func buildAll(instances []dataset.FileInstance, d *dataset.Dataset, ic *constraints.Set, mode constraints.EndLatencyMode, workers int) ([]*core.Graph, []error) {
+	graphs := make([]*core.Graph, len(instances))
+	errs := make([]error, len(instances))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ls, err := d.Prior.LSequence(instances[i].Readings)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				graphs[i], errs[i] = core.Build(ls, ic, &core.Options{EndLatency: mode})
+			}
+		}()
+	}
+	for i := range instances {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return graphs, errs
 }
 
 func splitNonEmpty(s string) []string {

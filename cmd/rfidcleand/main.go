@@ -36,12 +36,13 @@ func main() {
 	log.SetPrefix("rfidcleand: ")
 
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		demo = flag.Bool("demo", false, "preload the SYN1 deployment as d1")
+		addr    = flag.String("addr", ":8080", "listen address")
+		demo    = flag.Bool("demo", false, "preload the SYN1 deployment as d1")
+		workers = flag.Int("workers", 0, "batch-clean concurrency (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	srv := server.New()
+	srv := server.NewWithOptions(server.Options{Workers: *workers})
 	if *demo {
 		if err := preloadSYN1(srv); err != nil {
 			log.Fatal(err)

@@ -87,7 +87,10 @@ func main() {
 
 	// Where did the pallet actually dwell? Expected occupancy per bay.
 	fmt.Println("\nexpected pallet occupancy (joint cleaning):")
-	occ := joint.ExpectedOccupancy()
+	occ, err := joint.ExpectedOccupancy()
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, l := range plan.Locations() {
 		if occ[l.ID] >= 5 {
 			fmt.Printf("  %-10s %5.1f s\n", l.Name, occ[l.ID])

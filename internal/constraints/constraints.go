@@ -180,6 +180,104 @@ func (s *Set) MaxTravelingTime(from int) int {
 	return s.maxTT[from]
 }
 
+// Compiled is a slice-backed, read-only view of a Set for hot paths: every
+// lookup is a bounds check plus an array index instead of a map probe.
+// Locations at or beyond the compiled range simply have no constraints, so
+// the view answers correctly for any location ID.
+type Compiled struct {
+	n       int
+	unreach []bool  // [from*n+to]
+	latency []int32 // [loc], 0 = no constraint
+	tt      []int32 // [from*n+to], 0 = no constraint
+	maxTT   []int32 // [from]
+	hasTT   []bool  // [from]
+}
+
+// Compile builds the dense view. The result is immutable and must be rebuilt
+// if the set changes.
+func (s *Set) Compile() *Compiled {
+	n := 0
+	track := func(loc int) {
+		if loc+1 > n {
+			n = loc + 1
+		}
+	}
+	for k := range s.unreach {
+		track(k[0])
+		track(k[1])
+	}
+	for loc := range s.latency {
+		track(loc)
+	}
+	for from, m := range s.tt {
+		track(from)
+		for to := range m {
+			track(to)
+		}
+	}
+	c := &Compiled{
+		n:       n,
+		unreach: make([]bool, n*n),
+		latency: make([]int32, n),
+		tt:      make([]int32, n*n),
+		maxTT:   make([]int32, n),
+		hasTT:   make([]bool, n),
+	}
+	for k, v := range s.unreach {
+		if v {
+			c.unreach[k[0]*n+k[1]] = true
+		}
+	}
+	for loc, d := range s.latency {
+		c.latency[loc] = int32(d)
+	}
+	for from, m := range s.tt {
+		for to, nu := range m {
+			c.tt[from*n+to] = int32(nu)
+		}
+		c.hasTT[from] = len(m) > 0
+		c.maxTT[from] = int32(s.maxTT[from])
+	}
+	return c
+}
+
+// Unreachable mirrors Set.Unreachable.
+func (c *Compiled) Unreachable(from, to int) bool {
+	return uint(from) < uint(c.n) && uint(to) < uint(c.n) && c.unreach[from*c.n+to]
+}
+
+// Latency mirrors Set.Latency.
+func (c *Compiled) Latency(loc int) (minStay int, ok bool) {
+	if uint(loc) >= uint(c.n) || c.latency[loc] == 0 {
+		return 0, false
+	}
+	return int(c.latency[loc]), true
+}
+
+// TT mirrors Set.TT.
+func (c *Compiled) TT(from, to int) (nu int, ok bool) {
+	if uint(from) >= uint(c.n) || uint(to) >= uint(c.n) {
+		return 0, false
+	}
+	if v := c.tt[from*c.n+to]; v != 0 {
+		return int(v), true
+	}
+	return 0, false
+}
+
+// HasTTFrom mirrors Set.HasTTFrom.
+func (c *Compiled) HasTTFrom(from int) bool {
+	return uint(from) < uint(c.n) && c.hasTT[from]
+}
+
+// MaxTravelingTime mirrors Set.MaxTravelingTime.
+func (c *Compiled) MaxTravelingTime(from int) int {
+	if uint(from) >= uint(c.n) {
+		return 0
+	}
+	return int(c.maxTT[from])
+}
+
 // Counts returns the number of DU, LT and TT constraints in the set.
 func (s *Set) Counts() (du, lt, tt int) {
 	du = len(s.unreach)

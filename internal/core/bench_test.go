@@ -61,6 +61,27 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild is BenchmarkAlgorithm1 under the name the CI bench smoke
+// and the acceptance pattern (-bench 'Build|Marginals|TopK') select.
+func BenchmarkBuild(b *testing.B) { BenchmarkAlgorithm1(b) }
+
+// BenchmarkMarginals measures the smoothed per-timestamp distributions
+// (forward + backward pass plus the location aggregation).
+func BenchmarkMarginals(b *testing.B) {
+	ls, ic := benchScenario()
+	g, err := Build(ls, ic, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Marginals(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkForwardBackward measures the alpha/beta passes used by queries.
 func BenchmarkForwardBackward(b *testing.B) {
 	ls, ic := benchScenario()
@@ -68,6 +89,7 @@ func BenchmarkForwardBackward(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Forward()
@@ -78,6 +100,7 @@ func BenchmarkForwardBackward(b *testing.B) {
 // BenchmarkFilterObserve measures one streaming observation step.
 func BenchmarkFilterObserve(b *testing.B) {
 	ls, ic := benchScenario()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := NewFilter(ic, nil)
@@ -96,6 +119,7 @@ func BenchmarkTopK(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if trajs, _ := g.TopK(5); len(trajs) == 0 {

@@ -33,7 +33,9 @@ func (o *Options) endLatency() constraints.EndLatencyMode {
 //
 // The forward phase (lines 5-14 of the paper) grows the graph timestamp by
 // timestamp, materializing only successors permitted by Definition 3 and
-// labeling edges with the a-priori step probabilities.
+// labeling edges with the a-priori step probabilities. Successor identity is
+// the comparable nodeKey (with the TL slice interned), so deduplicating the
+// level costs no per-candidate allocation; nodes and edges come from arenas.
 //
 // The backward phase implements the same revision as the paper's
 // loss-propagation queue (lines 15-31) in its closed form: for every node,
@@ -63,39 +65,82 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 		ic = constraints.NewSet()
 	}
 	duration := ls.Duration()
-	b := &builder{ic: ic}
+	b := newBuilder(ic)
 	g := &Graph{byTime: make([][]*Node, duration)}
 
 	// Initialization (lines 1-4): source nodes, one per candidate at τ=0,
 	// with p_N set from the a-priori probabilities.
 	for _, c := range ls.Steps[0].Candidates {
-		n := &Node{Time: 0, Loc: c.Loc, Stay: b.initialStay(c.Loc), prob: c.P}
+		n := b.newNode(0, c.Loc, b.initialStay(c.Loc), nil)
+		n.prob = c.P
+		n.idx = int32(len(g.byTime[0]))
 		g.byTime[0] = append(g.byTime[0], n)
 	}
 
-	// Forward phase (lines 5-14).
+	// Forward phase (lines 5-14). The level map is reused across timestamps;
+	// keys are value types, so deduplicating a level allocates nothing. Each
+	// level is built in two passes: the first resolves every (node, candidate)
+	// pair to its successor (or nil) and counts degrees, the second carves
+	// exact-capacity adjacency lists out of the pointer arena and fills them —
+	// so the in/out lists never pay append-growth reallocations.
+	level := make(map[nodeKey]*Node)
+	var (
+		succs  []*Node // successor per (node, candidate) pair, nil when invalid
+		outDeg []int32 // out-degree per node of the current level
+		inDeg  []int32 // in-degree per node of the next level
+	)
 	for t := 0; t+1 < duration; t++ {
-		next := make(map[string]*Node)
-		for _, n := range g.byTime[t] {
-			for _, c := range ls.Steps[t+1].Candidates {
-				succ, ok := b.successor(n, c.Loc)
+		clear(level)
+		cur := g.byTime[t]
+		cands := ls.Steps[t+1].Candidates
+		succs = resize(succs, len(cur)*len(cands))
+		outDeg = resize(outDeg, len(cur))
+		inDeg = inDeg[:0]
+		pi := 0
+		for i, n := range cur {
+			outDeg[i] = 0
+			for _, c := range cands {
+				key, ok := b.successorKey(n, c.Loc)
 				if !ok {
+					succs[pi] = nil
+					pi++
 					continue
 				}
-				key := succ.key()
-				existing, seen := next[key]
+				succ, seen := level[key]
 				if !seen {
-					existing = succ
-					next[key] = succ
+					succ = b.newNode(t+1, int(key.loc), int(key.stay), b.tl.seq(key.tl))
+					succ.idx = int32(len(g.byTime[t+1]))
+					level[key] = succ
 					g.byTime[t+1] = append(g.byTime[t+1], succ)
+					inDeg = append(inDeg, 0)
 				}
-				e := &Edge{From: n, To: existing, P: c.P}
-				n.out = append(n.out, e)
-				existing.in = append(existing.in, e)
+				succs[pi] = succ
+				pi++
+				outDeg[i]++
+				inDeg[succ.idx]++
 			}
 		}
 		if len(g.byTime[t+1]) == 0 {
 			return nil, fmt.Errorf("%w (dead end at timestamp %d)", ErrNoValidTrajectory, t+1)
+		}
+		for i, n := range cur {
+			n.out = b.carve(int(outDeg[i]))
+		}
+		for i, m := range g.byTime[t+1] {
+			m.in = b.carve(int(inDeg[i]))
+		}
+		pi = 0
+		for _, n := range cur {
+			for _, c := range cands {
+				succ := succs[pi]
+				pi++
+				if succ == nil {
+					continue
+				}
+				e := b.newEdge(n, succ, c.P)
+				n.out = append(n.out, e)
+				succ.in = append(succ.in, e)
+			}
 		}
 	}
 
@@ -134,7 +179,11 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 				maxS = s
 			}
 			if s == 0 {
-				n.removed = true // Proposition 1: no successor => invalid
+				// Proposition 1: no successor => invalid. s can also hit
+				// zero by underflow when every surviving edge weight is
+				// below the smallest denormal; either way the node carries
+				// no representable valid mass and is pruned.
+				n.removed = true
 				continue
 			}
 			// Condition the outgoing edges (lines 17-19): each is
@@ -167,12 +216,17 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 	for _, src := range g.byTime[0] {
 		src.prob /= total
 	}
+	g.scrubOrphans()
 	g.compact()
 	return g, nil
 }
 
-// detachRemoved unlinks the in-edges of removed nodes at timestamp t from
-// their predecessors' adjacency lists (lines 26-29 of the paper).
+// detachRemoved unlinks a removed node at timestamp t from both sides of its
+// adjacency (lines 26-29 of the paper): its in-edges disappear from the
+// predecessors' out lists and its out-edges from the successors' in lists.
+// Forgetting the second half used to leave dangling in-edges pointing at
+// removed nodes whenever a node died with surviving out-edges (possible only
+// through survival underflow within a level).
 func (g *Graph) detachRemoved(t int) {
 	for _, n := range g.byTime[t] {
 		if !n.removed {
@@ -181,17 +235,56 @@ func (g *Graph) detachRemoved(t int) {
 		for _, e := range n.in {
 			removeOutEdge(e.From, e)
 		}
+		for _, e := range n.out {
+			removeInEdge(e.To, e)
+		}
 		n.in = nil
 		n.out = nil
 	}
 }
 
-// compact drops removed nodes from the per-timestamp lists.
+// scrubOrphans removes nodes whose predecessors were all removed by the
+// backward phase. The backward sweep visits levels last-to-first, so a node
+// orphaned by removals one level earlier keeps a positive survival and used
+// to outlive compact() as an unreachable ghost. Sweeping forward cascades
+// the removal: an orphan's own successors lose its in-edges immediately and
+// are re-examined on the next iteration. Orphans carry zero forward mass, so
+// conditioned probabilities are unaffected; a level can never lose all its
+// nodes here, because that would require the previous level to have been
+// fully removed, which the backward phase already reports as
+// ErrNoValidTrajectory.
+func (g *Graph) scrubOrphans() {
+	for t := 1; t < len(g.byTime); t++ {
+		for _, n := range g.byTime[t] {
+			if n.removed {
+				continue
+			}
+			alive := n.in[:0]
+			for _, e := range n.in {
+				if !e.From.removed {
+					alive = append(alive, e)
+				}
+			}
+			n.in = alive
+			if len(n.in) == 0 {
+				n.removed = true
+				for _, e := range n.out {
+					removeInEdge(e.To, e)
+				}
+				n.out = nil
+			}
+		}
+	}
+}
+
+// compact drops removed nodes from the per-timestamp lists and reassigns the
+// dense per-level indices to match the surviving positions.
 func (g *Graph) compact() {
 	for t := range g.byTime {
 		alive := g.byTime[t][:0]
 		for _, n := range g.byTime[t] {
 			if !n.removed {
+				n.idx = int32(len(alive))
 				alive = append(alive, n)
 			}
 		}
@@ -199,81 +292,162 @@ func (g *Graph) compact() {
 	}
 }
 
-// builder holds the constraint set while computing successors.
+// resize returns s with length n, reallocating only when the capacity is too
+// small. Contents are unspecified.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Arena block sizes: big enough to amortize allocation, small enough not to
+// strand memory on tiny graphs.
+const (
+	nodeBlockSize = 256
+	edgeBlockSize = 1024
+	ptrBlockSize  = 4096
+)
+
+// builder holds the constraint set plus the allocation state shared by the
+// forward phase and the streaming filter: the compiled constraint view, the
+// TL interner, a scratch slice for assembling successor TLs, and node/edge
+// arenas. Blocks are never reallocated once handed out, so node and edge
+// pointers stay stable.
 type builder struct {
-	ic *constraints.Set
+	cs      *constraints.Compiled
+	tl      *tlInterner
+	scratch []TLEntry
+	nodes   []Node
+	edges   []Edge
+	ptrs    []*Edge
+}
+
+func newBuilder(ic *constraints.Set) builder {
+	return builder{cs: ic.Compile(), tl: newTLInterner()}
+}
+
+// newNode allocates a node from the arena. tl must be a canonical interned
+// slice (or nil).
+func (b *builder) newNode(t, loc, stay int, tl []TLEntry) *Node {
+	if len(b.nodes) == cap(b.nodes) {
+		b.nodes = make([]Node, 0, nodeBlockSize)
+	}
+	b.nodes = b.nodes[:len(b.nodes)+1]
+	n := &b.nodes[len(b.nodes)-1]
+	*n = Node{Time: t, Loc: loc, Stay: stay, TL: tl}
+	return n
+}
+
+// newEdge allocates an edge from the arena.
+func (b *builder) newEdge(from, to *Node, p float64) *Edge {
+	if len(b.edges) == cap(b.edges) {
+		b.edges = make([]Edge, 0, edgeBlockSize)
+	}
+	b.edges = b.edges[:len(b.edges)+1]
+	e := &b.edges[len(b.edges)-1]
+	*e = Edge{From: from, To: to, P: p}
+	return e
+}
+
+// carve returns an empty edge list with capacity exactly n, cut from the
+// pointer arena. The three-index slice expression caps each list at its own
+// region, so lists carved from one block can never grow into each other.
+func (b *builder) carve(n int) []*Edge {
+	if n == 0 {
+		return nil
+	}
+	if cap(b.ptrs)-len(b.ptrs) < n {
+		size := ptrBlockSize
+		if n > size {
+			size = n
+		}
+		b.ptrs = make([]*Edge, 0, size)
+	}
+	s := b.ptrs[len(b.ptrs):len(b.ptrs):len(b.ptrs)+n]
+	b.ptrs = b.ptrs[:len(b.ptrs)+n]
+	return s
 }
 
 // initialStay returns the stay counter of a node entering loc (or starting
 // the window there): 1 when a latency constraint is pending, ⊥ otherwise.
 func (b *builder) initialStay(loc int) int {
-	if delta, ok := b.ic.Latency(loc); ok && delta > 1 {
+	if delta, ok := b.cs.Latency(loc); ok && delta > 1 {
 		return 1
 	}
 	return StayUntracked
 }
 
-// successor computes the unique successor node of n at location loc per
-// Definition 3, or ok=false when no such successor exists (some constraint
-// would be violated).
-func (b *builder) successor(n *Node, loc int) (*Node, bool) {
+// successorKey computes the identity of the unique successor node of n at
+// location loc per Definition 3, or ok=false when no such successor exists
+// (some constraint would be violated). The successor's TL is assembled in
+// the builder's scratch slice and interned, so checking a candidate that
+// deduplicates onto an existing node allocates nothing.
+func (b *builder) successorKey(n *Node, loc int) (nodeKey, bool) {
 	t2 := n.Time + 1
 	// Condition 2: direct reachability.
-	if b.ic.Unreachable(n.Loc, loc) {
-		return nil, false
+	if b.cs.Unreachable(n.Loc, loc) {
+		return nodeKey{}, false
 	}
 	if loc == n.Loc {
 		// Condition 3: staying increments a pending stay counter.
 		stay := n.Stay
 		if stay != StayUntracked {
 			stay++
-			if delta, _ := b.ic.Latency(loc); stay >= delta {
+			if delta, _ := b.cs.Latency(loc); stay >= delta {
 				stay = StayUntracked // constraint satisfied: normalize to ⊥
 			}
 		}
-		return &Node{Time: t2, Loc: loc, Stay: stay, TL: b.expireTL(n.TL, t2, -1)}, true
+		id := b.internTL(n.TL, t2, -1, nil)
+		return nodeKey{loc: int32(loc), stay: int32(stay), tl: id}, true
 	}
 	// Condition 4: leaving is allowed only once any latency constraint on
 	// the current location is satisfied (pending counter normalized away).
 	if n.Stay != StayUntracked {
-		return nil, false
+		return nodeKey{}, false
 	}
 	// Condition 5 (extended to cover the direct move, see DESIGN.md §3):
 	// no TT constraint into loc may still bind, neither from a recently
 	// left location in TL nor from the location being left right now.
-	if nu, ok := b.ic.TT(n.Loc, loc); ok && t2-n.Time < nu {
-		return nil, false
+	if nu, ok := b.cs.TT(n.Loc, loc); ok && t2-n.Time < nu {
+		return nodeKey{}, false
 	}
 	for _, e := range n.TL {
-		if nu, ok := b.ic.TT(e.Loc, loc); ok && t2-e.Time < nu {
-			return nil, false
+		if nu, ok := b.cs.TT(e.Loc, loc); ok && t2-e.Time < nu {
+			return nodeKey{}, false
 		}
 	}
 	// Condition 6: extend TL with the location being left (when it is the
 	// source of some TT constraint), expire stale entries, and drop any
 	// entry for the location being entered.
-	tl := b.expireTL(n.TL, t2, loc)
-	if b.ic.HasTTFrom(n.Loc) && t2-n.Time < b.ic.MaxTravelingTime(n.Loc) {
-		tl = append(tl, TLEntry{Time: n.Time, Loc: n.Loc})
-		sortTL(tl)
+	var add *TLEntry
+	if b.cs.HasTTFrom(n.Loc) && t2-n.Time < b.cs.MaxTravelingTime(n.Loc) {
+		add = &TLEntry{Time: n.Time, Loc: n.Loc}
 	}
-	return &Node{Time: t2, Loc: loc, Stay: b.initialStay(loc), TL: tl}, true
+	id := b.internTL(n.TL, t2, loc, add)
+	return nodeKey{loc: int32(loc), stay: int32(b.initialStay(loc)), tl: id}, true
 }
 
-// expireTL copies the entries of tl that can still influence a TT check at
-// time t2, skipping any entry for location drop (-1 to keep all locations).
-func (b *builder) expireTL(tl []TLEntry, t2 int, drop int) []TLEntry {
-	var out []TLEntry
+// internTL builds the successor TL in the scratch slice — the entries of tl
+// still able to influence a TT check at time t2, minus any entry for
+// location drop, plus the optional add entry — and returns its interned ID.
+func (b *builder) internTL(tl []TLEntry, t2, drop int, add *TLEntry) tlID {
+	s := b.scratch[:0]
 	for _, e := range tl {
 		if e.Loc == drop {
 			continue
 		}
-		if t2-e.Time >= b.ic.MaxTravelingTime(e.Loc) {
+		if t2-e.Time >= b.cs.MaxTravelingTime(e.Loc) {
 			continue
 		}
-		out = append(out, e)
+		s = append(s, e)
 	}
-	return out
+	if add != nil {
+		s = append(s, *add)
+		sortTL(s)
+	}
+	b.scratch = s
+	return b.tl.intern(s)
 }
 
 // removeOutEdge removes e from pred's outgoing edge list.
@@ -282,6 +456,17 @@ func removeOutEdge(pred *Node, e *Edge) {
 		if cand == e {
 			pred.out[i] = pred.out[len(pred.out)-1]
 			pred.out = pred.out[:len(pred.out)-1]
+			return
+		}
+	}
+}
+
+// removeInEdge removes e from succ's incoming edge list.
+func removeInEdge(succ *Node, e *Edge) {
+	for i, cand := range succ.in {
+		if cand == e {
+			succ.in[i] = succ.in[len(succ.in)-1]
+			succ.in = succ.in[:len(succ.in)-1]
 			return
 		}
 	}

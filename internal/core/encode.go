@@ -36,10 +36,14 @@ const graphFormatVersion = 1
 // Encode writes the graph as JSON.
 func (g *Graph) Encode(w io.Writer) error {
 	out := graphJSON{Version: graphFormatVersion, Duration: g.Duration()}
-	index := make(map[*Node]int)
+	// Nodes are serialized level by level in index order, so a node's global
+	// position is its level offset plus its dense per-level index.
+	offsets := make([]int, g.Duration())
 	for t := 0; t < g.Duration(); t++ {
+		if t > 0 {
+			offsets[t] = offsets[t-1] + len(g.byTime[t-1])
+		}
 		for _, n := range g.byTime[t] {
-			index[n] = len(out.Nodes)
 			out.Nodes = append(out.Nodes, nodeJSON{
 				Time: n.Time, Loc: n.Loc, Stay: n.Stay, TL: n.TL, Prob: n.prob,
 			})
@@ -49,7 +53,7 @@ func (g *Graph) Encode(w io.Writer) error {
 		for _, n := range g.byTime[t] {
 			for _, e := range n.out {
 				out.Edges = append(out.Edges, edgeJSON{
-					From: index[e.From], To: index[e.To], P: e.P,
+					From: offsets[t] + int(e.From.idx), To: offsets[t+1] + int(e.To.idx), P: e.P,
 				})
 			}
 		}
@@ -76,6 +80,7 @@ func Decode(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("core: node %d has timestamp %d outside [0, %d)", i, nj.Time, in.Duration)
 		}
 		n := &Node{Time: nj.Time, Loc: nj.Loc, Stay: nj.Stay, TL: nj.TL, prob: nj.Prob}
+		n.idx = int32(len(g.byTime[nj.Time]))
 		nodes[i] = n
 		g.byTime[nj.Time] = append(g.byTime[nj.Time], n)
 	}

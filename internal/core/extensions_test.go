@@ -43,7 +43,11 @@ func TestFilterMatchesGraphAtEveryPrefix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := g.Marginals(numLoc)[step]
+			marg, err := g.Marginals(numLoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := marg[step]
 			for loc := range want {
 				if math.Abs(got[loc]-want[loc]) > 1e-9 {
 					t.Fatalf("trial %d step %d loc %d: filter %v, graph %v",

@@ -7,6 +7,14 @@ import (
 	"repro/internal/constraints"
 )
 
+// filterInternCap bounds the streaming filter's TL interner. TL entries
+// carry absolute timestamps, so on an unbounded stream the interner would
+// grow without limit; once it exceeds this many chain links it is discarded
+// and rebuilt. That is safe because interned IDs are only compared within a
+// single Observe call, and frontier nodes hold the canonical slices
+// themselves, which outlive the interner that created them.
+const filterInternCap = 1 << 16
+
 // Filter is the online (streaming) counterpart of Build: it consumes one
 // timestamp of candidate locations at a time and maintains the *filtered*
 // distribution — the conditioned distribution of the object's current
@@ -51,7 +59,7 @@ func NewFilter(ic *constraints.Set, opts *FilterOptions) *Filter {
 	if ic == nil {
 		ic = constraints.NewSet()
 	}
-	f := &Filter{ic: ic, b: builder{ic: ic}, time: -1}
+	f := &Filter{ic: ic, b: newBuilder(ic), time: -1}
 	if opts != nil && opts.Beam > 0 {
 		f.beam = opts.Beam
 	}
@@ -81,7 +89,7 @@ func (f *Filter) Observe(candidates []Candidate) error {
 		f.frontier = make([]*filterEntry, 0, len(candidates))
 		for _, c := range candidates {
 			f.frontier = append(f.frontier, &filterEntry{
-				node:  &Node{Time: 0, Loc: c.Loc, Stay: f.b.initialStay(c.Loc)},
+				node:  f.b.newNode(0, c.Loc, f.b.initialStay(c.Loc), nil),
 				alpha: c.P,
 			})
 		}
@@ -89,19 +97,21 @@ func (f *Filter) Observe(candidates []Candidate) error {
 		f.normalizeAndPrune()
 		return nil
 	}
+	if f.b.tl.size() > filterInternCap {
+		f.b.tl = newTLInterner()
+	}
 
-	next := make(map[string]*filterEntry)
-	var order []*filterEntry
+	next := make(map[nodeKey]*filterEntry, len(f.frontier))
+	order := make([]*filterEntry, 0, len(f.frontier))
 	for _, e := range f.frontier {
 		for _, c := range candidates {
-			succ, ok := f.b.successor(e.node, c.Loc)
+			key, ok := f.b.successorKey(e.node, c.Loc)
 			if !ok {
 				continue
 			}
-			key := succ.key()
 			ne, seen := next[key]
 			if !seen {
-				ne = &filterEntry{node: succ}
+				ne = &filterEntry{node: f.b.newNode(f.time+1, int(key.loc), int(key.stay), f.b.tl.seq(key.tl))}
 				next[key] = ne
 				order = append(order, ne)
 			}
@@ -140,13 +150,17 @@ func (f *Filter) normalizeAndPrune() {
 }
 
 // Current returns the filtered distribution over locations at the latest
-// observed timestamp. numLocations sizes the result.
+// observed timestamp. numLocations sizes the result; an error is returned
+// when a frontier node mentions a location ID outside [0, numLocations).
 func (f *Filter) Current(numLocations int) ([]float64, error) {
 	if f.time < 0 {
 		return nil, fmt.Errorf("core: filter has observed nothing")
 	}
 	dist := make([]float64, numLocations)
 	for _, e := range f.frontier {
+		if e.node.Loc >= numLocations {
+			return nil, fmt.Errorf("core: frontier location ID %d outside [0, %d)", e.node.Loc, numLocations)
+		}
 		dist[e.node.Loc] += e.alpha
 	}
 	return dist, nil

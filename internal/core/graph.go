@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -28,7 +27,9 @@ type Node struct {
 	Time int       // timestamp τ
 	Loc  int       // location l
 	Stay int       // δ: length of the current stay while a latency constraint is pending, or StayUntracked (⊥)
-	TL   []TLEntry // sorted by Loc; relevant recent leave times for TT checks
+	TL   []TLEntry // sorted by Loc; relevant recent leave times for TT checks; interned, do not modify
+
+	idx int32 // dense index within the node's timestamp level
 
 	out []*Edge
 	in  []*Edge
@@ -47,20 +48,10 @@ func (n *Node) In() []*Edge { return n.in }
 // SourceProb returns p_N(n) for a source node (0 for non-source nodes).
 func (n *Node) SourceProb() float64 { return n.prob }
 
-// key returns the canonical identity string of the node.
-func (n *Node) key() string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(n.Loc))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(n.Stay))
-	for _, e := range n.TL {
-		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(e.Loc))
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(e.Time))
-	}
-	return b.String()
-}
+// Index returns the node's dense index within its timestamp level: the
+// position of the node in NodesAt(n.Time). Indices let query passes address
+// per-node state with slices instead of map[*Node] lookups.
+func (n *Node) Index() int { return int(n.idx) }
 
 // String implements fmt.Stringer.
 func (n *Node) String() string {
@@ -87,7 +78,7 @@ type Edge struct {
 // path's source probability and edge probabilities is the conditioned
 // probability of its trajectory.
 type Graph struct {
-	byTime [][]*Node // alive nodes per timestamp
+	byTime [][]*Node // alive nodes per timestamp; byTime[t][i].Index() == i
 }
 
 // Duration returns the number of timestamps spanned by the graph.
@@ -102,6 +93,15 @@ func (g *Graph) Sources() []*Node { return g.byTime[0] }
 
 // Targets returns the target nodes (last timestamp).
 func (g *Graph) Targets() []*Node { return g.byTime[len(g.byTime)-1] }
+
+// levels allocates one float64 slot per alive node, shaped like byTime.
+func (g *Graph) levels() [][]float64 {
+	out := make([][]float64, len(g.byTime))
+	for t, nodes := range g.byTime {
+		out[t] = make([]float64, len(nodes))
+	}
+	return out
+}
 
 // Stats summarizes the size of a ct-graph (§6.7 discusses the memory
 // footprint of ct-graphs under different constraint sets).
@@ -168,8 +168,9 @@ func Trajectory(path []*Node) []int {
 
 // WalkPaths calls fn for every source-to-target path with its conditioned
 // probability, stopping early (with an error) after more than limit paths.
-// It is intended for tests and small graphs; real consumers should use
-// Marginals, queries, sampling or MostProbable instead.
+// Each invocation receives a freshly allocated path slice that the callback
+// may retain. WalkPaths is intended for tests and small graphs; real
+// consumers should use Marginals, queries, sampling or MostProbable instead.
 func (g *Graph) WalkPaths(limit int, fn func(path []*Node, p float64)) error {
 	count := 0
 	var rec func(path []*Node, p float64) error
@@ -180,7 +181,12 @@ func (g *Graph) WalkPaths(limit int, fn func(path []*Node, p float64)) error {
 			if count > limit {
 				return fmt.Errorf("core: more than %d paths", limit)
 			}
-			fn(path, p)
+			// Copy: the recursion reuses path's backing array across sibling
+			// branches, so handing it out directly would let callbacks that
+			// retain paths see them silently overwritten.
+			cp := make([]*Node, len(path))
+			copy(cp, path)
+			fn(cp, p)
 			return nil
 		}
 		for _, e := range n.out {
@@ -225,18 +231,19 @@ func TrajectoryKey(locs []int) string {
 }
 
 // Forward returns, for every node, the total probability of source-prefixes
-// reaching it: α(n) = Σ over partial paths from a source to n of the product
-// of the source probability and edge probabilities.
-func (g *Graph) Forward() map[*Node]float64 {
-	alpha := make(map[*Node]float64)
-	for _, src := range g.Sources() {
-		alpha[src] = src.prob
+// reaching it: alpha[t][n.Index()] = Σ over partial paths from a source to n
+// of the product of the source probability and edge probabilities.
+func (g *Graph) Forward() [][]float64 {
+	alpha := g.levels()
+	for _, src := range g.byTime[0] {
+		alpha[0][src.idx] = src.prob
 	}
 	for t := 0; t+1 < g.Duration(); t++ {
+		row, next := alpha[t], alpha[t+1]
 		for _, n := range g.byTime[t] {
-			a := alpha[n]
+			a := row[n.idx]
 			for _, e := range n.out {
-				alpha[e.To] += a * e.P
+				next[e.To.idx] += a * e.P
 			}
 		}
 	}
@@ -244,20 +251,22 @@ func (g *Graph) Forward() map[*Node]float64 {
 }
 
 // Backward returns, for every node, the total probability of suffixes from
-// it to a target: β(n) = Σ over partial paths from n to a target of the
-// product of edge probabilities (1 for targets).
-func (g *Graph) Backward() map[*Node]float64 {
-	beta := make(map[*Node]float64)
-	for _, n := range g.Targets() {
-		beta[n] = 1
+// it to a target: beta[t][n.Index()] = Σ over partial paths from n to a
+// target of the product of edge probabilities (1 for targets).
+func (g *Graph) Backward() [][]float64 {
+	beta := g.levels()
+	last := g.Duration() - 1
+	for _, n := range g.byTime[last] {
+		beta[last][n.idx] = 1
 	}
-	for t := g.Duration() - 2; t >= 0; t-- {
+	for t := last - 1; t >= 0; t-- {
+		row, next := beta[t], beta[t+1]
 		for _, n := range g.byTime[t] {
 			var b float64
 			for _, e := range n.out {
-				b += e.P * beta[e.To]
+				b += e.P * next[e.To.idx]
 			}
-			beta[n] = b
+			row[n.idx] = b
 		}
 	}
 	return beta
@@ -266,57 +275,73 @@ func (g *Graph) Backward() map[*Node]float64 {
 // Marginals returns, for each timestamp, the conditioned distribution over
 // locations: out[τ][l] is the probability that the object was at location l
 // at time τ given the readings and the constraints. numLocations sizes the
-// rows; location IDs must be smaller.
-func (g *Graph) Marginals(numLocations int) [][]float64 {
+// rows; it returns an error when the graph mentions a location ID outside
+// [0, numLocations).
+func (g *Graph) Marginals(numLocations int) ([][]float64, error) {
 	alpha := g.Forward()
 	beta := g.Backward()
 	out := make([][]float64, g.Duration())
 	for t := range out {
 		row := make([]float64, numLocations)
 		for _, n := range g.byTime[t] {
-			row[n.Loc] += alpha[n] * beta[n]
+			if n.Loc >= numLocations {
+				return nil, fmt.Errorf("core: node %v has location ID %d outside [0, %d)", n, n.Loc, numLocations)
+			}
+			row[n.Loc] += alpha[t][n.idx] * beta[t][n.idx]
 		}
 		out[t] = row
 	}
-	return out
+	return out, nil
 }
 
 // MostProbable returns the valid trajectory with the highest conditioned
 // probability and that probability (Viterbi decoding over the ct-graph).
 func (g *Graph) MostProbable() ([]int, float64) {
-	best := make(map[*Node]float64)
-	back := make(map[*Node]*Node)
-	for _, src := range g.Sources() {
-		best[src] = src.prob
+	if g.Duration() == 0 {
+		return nil, 0
+	}
+	best := g.levels()
+	back := make([][]int32, g.Duration())
+	for t := 1; t < g.Duration(); t++ {
+		back[t] = make([]int32, len(g.byTime[t]))
+	}
+	for _, src := range g.byTime[0] {
+		best[0][src.idx] = src.prob
 	}
 	for t := 0; t+1 < g.Duration(); t++ {
+		row, next := best[t], best[t+1]
+		nb := back[t+1]
 		for _, n := range g.byTime[t] {
-			b, ok := best[n]
-			if !ok {
+			b := row[n.idx]
+			if b == 0 {
 				continue
 			}
 			for _, e := range n.out {
-				if v := b * e.P; v > best[e.To] {
-					best[e.To] = v
-					back[e.To] = n
+				if v := b * e.P; v > next[e.To.idx] {
+					next[e.To.idx] = v
+					nb[e.To.idx] = n.idx
 				}
 			}
 		}
 	}
-	var argmax *Node
-	bestP := -1.0
-	for _, n := range g.Targets() {
-		if best[n] > bestP {
-			bestP = best[n]
-			argmax = n
+	last := g.Duration() - 1
+	argmax := int32(-1)
+	bestP := 0.0
+	for _, n := range g.byTime[last] {
+		if p := best[last][n.idx]; p > bestP {
+			bestP = p
+			argmax = n.idx
 		}
 	}
-	if argmax == nil {
+	if argmax < 0 {
 		return nil, 0
 	}
 	locs := make([]int, g.Duration())
-	for n := argmax; n != nil; n = back[n] {
-		locs[n.Time] = n.Loc
+	for t, i := last, argmax; ; t, i = t-1, back[t][i] {
+		locs[t] = g.byTime[t][i].Loc
+		if t == 0 {
+			break
+		}
 	}
 	return locs, bestP
 }
@@ -355,9 +380,11 @@ func (g *Graph) Sample(rng *stats.RNG) []int {
 
 // CheckInvariants verifies the structural invariants of a well-formed
 // ct-graph: per-node outgoing probabilities sum to 1 (non-targets), source
-// probabilities sum to 1, every node lies on some source-to-target path, and
-// edge endpoints agree on adjacency. It is used by tests and returns the
-// first violation found.
+// probabilities sum to 1, dense per-level indices match node positions, edge
+// endpoints agree on adjacency (no dangling in-edges from removed or foreign
+// nodes, and out/in edge counts balance between consecutive levels), and
+// every node lies on some source-to-target path (no unreachable ghosts). It
+// is used by tests and by Decode and returns the first violation found.
 func (g *Graph) CheckInvariants(tol float64) error {
 	if g.Duration() == 0 {
 		return fmt.Errorf("core: empty graph")
@@ -369,13 +396,21 @@ func (g *Graph) CheckInvariants(tol float64) error {
 	if math.Abs(srcSum-1) > tol {
 		return fmt.Errorf("core: source probabilities sum to %g", srcSum)
 	}
+	outEdges := 0 // edges leaving the previous level
 	for t, nodes := range g.byTime {
 		if len(nodes) == 0 {
 			return fmt.Errorf("core: no nodes at timestamp %d", t)
 		}
-		for _, n := range nodes {
+		inEdges := 0
+		for i, n := range nodes {
 			if n.removed {
 				return fmt.Errorf("core: removed node %v still listed", n)
+			}
+			if int(n.idx) != i {
+				return fmt.Errorf("core: node %v has index %d but sits at position %d", n, n.idx, i)
+			}
+			if n.Time != t {
+				return fmt.Errorf("core: node %v listed at timestamp %d", n, t)
 			}
 			if t < g.Duration()-1 {
 				if len(n.out) == 0 {
@@ -398,6 +433,54 @@ func (g *Graph) CheckInvariants(tol float64) error {
 			if t > 0 && len(n.in) == 0 {
 				return fmt.Errorf("core: non-source node %v has no predecessors", n)
 			}
+			inEdges += len(n.in)
+			for _, e := range n.in {
+				if e.To != n {
+					return fmt.Errorf("core: in-edge list corruption at %v", n)
+				}
+				from := e.From
+				if from == nil || from.removed {
+					return fmt.Errorf("core: node %v has a dangling in-edge from removed node %v", n, from)
+				}
+				if t == 0 || from.Time != t-1 || int(from.idx) >= len(g.byTime[t-1]) || g.byTime[t-1][from.idx] != from {
+					return fmt.Errorf("core: node %v has an in-edge from %v, which is not an alive node of the previous level", n, from)
+				}
+			}
+		}
+		if t > 0 && inEdges != outEdges {
+			return fmt.Errorf("core: level %d has %d in-edges but level %d has %d out-edges", t, inEdges, t-1, outEdges)
+		}
+		outEdges = 0
+		for _, n := range nodes {
+			outEdges += len(n.out)
+		}
+	}
+	// Every node must be reachable from a source (no ghosts left behind by
+	// pruning). Reachability is tracked explicitly rather than via alpha > 0
+	// so that probability underflow on long windows cannot mask a ghost (or
+	// flag a legitimate node).
+	reach := make([][]bool, g.Duration())
+	for t := range reach {
+		reach[t] = make([]bool, len(g.byTime[t]))
+	}
+	for i := range g.byTime[0] {
+		reach[0][i] = true
+	}
+	for t := 0; t+1 < g.Duration(); t++ {
+		for _, n := range g.byTime[t] {
+			if !reach[t][n.idx] {
+				continue
+			}
+			for _, e := range n.out {
+				reach[t+1][e.To.idx] = true
+			}
+		}
+	}
+	for t, nodes := range g.byTime {
+		for _, n := range nodes {
+			if !reach[t][n.idx] {
+				return fmt.Errorf("core: node %v is unreachable from every source", n)
+			}
 		}
 	}
 	// Marginal mass must be 1 at every timestamp.
@@ -406,7 +489,7 @@ func (g *Graph) CheckInvariants(tol float64) error {
 	for t, nodes := range g.byTime {
 		var mass float64
 		for _, n := range nodes {
-			mass += alpha[n] * beta[n]
+			mass += alpha[t][n.idx] * beta[t][n.idx]
 		}
 		if math.Abs(mass-1) > tol {
 			return fmt.Errorf("core: probability mass at timestamp %d is %g", t, mass)
@@ -415,7 +498,13 @@ func (g *Graph) CheckInvariants(tol float64) error {
 	return nil
 }
 
-// sortTL keeps TL entries in canonical order (by location).
+// sortTL keeps TL entries in canonical order (by location). TLs hold at most
+// one entry per TT-source location, so insertion sort beats sort.Slice here
+// and keeps the Build hot path free of its closure allocations.
 func sortTL(tl []TLEntry) {
-	sort.Slice(tl, func(i, j int) bool { return tl[i].Loc < tl[j].Loc })
+	for i := 1; i < len(tl); i++ {
+		for j := i; j > 0 && tl[j].Loc < tl[j-1].Loc; j-- {
+			tl[j], tl[j-1] = tl[j-1], tl[j]
+		}
+	}
 }

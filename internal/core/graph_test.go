@@ -95,7 +95,7 @@ func TestForwardBackwardMass(t *testing.T) {
 	for tau := 0; tau < g.Duration(); tau++ {
 		var mass float64
 		for _, n := range g.NodesAt(tau) {
-			mass += alpha[n] * beta[n]
+			mass += alpha[tau][n.Index()] * beta[tau][n.Index()]
 		}
 		if math.Abs(mass-1) > 1e-9 {
 			t.Errorf("mass at %d = %v", tau, mass)
@@ -109,7 +109,10 @@ func TestMarginalsSumToOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := g.Marginals(6)
+	m, err := g.Marginals(6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for tau, row := range m {
 		var sum float64
 		for _, p := range row {
@@ -138,18 +141,69 @@ func TestNodeString(t *testing.T) {
 }
 
 func TestNodeKeyDistinguishes(t *testing.T) {
-	a := &Node{Time: 1, Loc: 2, Stay: 1}
-	b := &Node{Time: 1, Loc: 2, Stay: StayUntracked}
-	if a.key() == b.key() {
+	in := newTLInterner()
+	key := func(loc, stay int, tl []TLEntry) nodeKey {
+		return nodeKey{loc: int32(loc), stay: int32(stay), tl: in.intern(tl)}
+	}
+	a := key(2, 1, nil)
+	b := key(2, StayUntracked, nil)
+	if a == b {
 		t.Errorf("keys should differ on stay counter")
 	}
-	c := &Node{Time: 1, Loc: 2, Stay: 1, TL: []TLEntry{{Time: 0, Loc: 5}}}
-	if a.key() == c.key() {
+	c := key(2, 1, []TLEntry{{Time: 0, Loc: 5}})
+	if a == c {
 		t.Errorf("keys should differ on TL")
 	}
-	d := &Node{Time: 1, Loc: 2, Stay: 1, TL: []TLEntry{{Time: 0, Loc: 5}}}
-	if c.key() != d.key() {
+	d := key(2, 1, []TLEntry{{Time: 0, Loc: 5}})
+	if c != d {
 		t.Errorf("identical nodes should share a key")
+	}
+	// Same locations at different leave times are different histories.
+	e := key(2, 1, []TLEntry{{Time: 1, Loc: 5}})
+	if c == e {
+		t.Errorf("keys should differ on TL leave time")
+	}
+}
+
+func TestTLInternerCanonicalizes(t *testing.T) {
+	in := newTLInterner()
+	tl := []TLEntry{{Time: 3, Loc: 1}, {Time: 5, Loc: 4}}
+	id := in.intern(tl)
+	// Mutating the caller's slice must not affect the canonical copy.
+	tl[0] = TLEntry{Time: 9, Loc: 9}
+	again := in.intern([]TLEntry{{Time: 3, Loc: 1}, {Time: 5, Loc: 4}})
+	if id != again {
+		t.Errorf("equal TLs interned to %d and %d", id, again)
+	}
+	seq := in.seq(id)
+	if len(seq) != 2 || seq[0] != (TLEntry{Time: 3, Loc: 1}) || seq[1] != (TLEntry{Time: 5, Loc: 4}) {
+		t.Errorf("canonical seq = %v", seq)
+	}
+	if in.intern(nil) != 0 {
+		t.Errorf("empty TL should intern to ID 0")
+	}
+	if in.size() == 0 {
+		t.Errorf("interner reports zero size after interning")
+	}
+	// A proper prefix is a distinct ID sharing the chain.
+	pre := in.intern([]TLEntry{{Time: 3, Loc: 1}})
+	if pre == id || len(in.seq(pre)) != 1 {
+		t.Errorf("prefix interning broken: pre=%d id=%d seq=%v", pre, id, in.seq(pre))
+	}
+}
+
+func TestNodeIndexMatchesPosition(t *testing.T) {
+	ls, ic := runningExample(t)
+	g, err := Build(ls, ic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tau := 0; tau < g.Duration(); tau++ {
+		for i, n := range g.NodesAt(tau) {
+			if n.Index() != i {
+				t.Errorf("node %v at position %d has Index %d", n, i, n.Index())
+			}
+		}
 	}
 }
 

@@ -1,0 +1,62 @@
+package core
+
+// tlID identifies an interned, canonical TL slice. ID 0 is the empty TL.
+type tlID int32
+
+// tlChain keys one interning step: a previously interned prefix extended by
+// one entry. Because TL slices are kept sorted, two slices intern to the same
+// ID exactly when they are element-wise equal.
+type tlChain struct {
+	prefix tlID
+	entry  TLEntry
+}
+
+// tlInterner assigns dense integer IDs to TL slices so that node identity can
+// be a comparable value type (see nodeKey) and all nodes sharing a TL history
+// share one immutable backing array. Interning replaces the per-successor
+// string key the forward phase used to build for dedup, which dominated the
+// allocation profile of Algorithm 1 on long windows.
+type tlInterner struct {
+	ids  map[tlChain]tlID
+	seqs [][]TLEntry // seqs[id] is the canonical slice for id; seqs[0] = nil
+}
+
+func newTLInterner() *tlInterner {
+	return &tlInterner{ids: make(map[tlChain]tlID), seqs: [][]TLEntry{nil}}
+}
+
+// size returns the number of interned chain links (a proxy for memory use).
+func (in *tlInterner) size() int { return len(in.ids) }
+
+// intern returns the ID of tl, registering it if new. tl must be sorted. The
+// canonical copy is made on first sight, so callers may keep reusing tl's
+// backing array as scratch space.
+func (in *tlInterner) intern(tl []TLEntry) tlID {
+	id := tlID(0)
+	for i, e := range tl {
+		key := tlChain{prefix: id, entry: e}
+		next, ok := in.ids[key]
+		if !ok {
+			next = tlID(len(in.seqs))
+			// seqs[id] is the canonical prefix of length i; the full slice
+			// expression forces a copy so the new sequence is immutable.
+			in.seqs = append(in.seqs, append(in.seqs[id][:i:i], e))
+			in.ids[key] = next
+		}
+		id = next
+	}
+	return id
+}
+
+// seq returns the canonical slice for id. Callers must not modify it.
+func (in *tlInterner) seq(id tlID) []TLEntry { return in.seqs[id] }
+
+// nodeKey is the comparable identity of a location node within one timestamp:
+// (l, δ, TL) with the TL slice replaced by its interned ID. It is the map key
+// of the forward phase's per-level dedup and of Filter.Observe's frontier
+// merge; both previously built a string per candidate successor.
+type nodeKey struct {
+	loc  int32
+	stay int32
+	tl   tlID
+}

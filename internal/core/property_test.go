@@ -185,13 +185,142 @@ func TestPropertyMarginalsMatchEnumeration(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := g.Marginals(numLocs)
+		got, err := g.Marginals(numLocs)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for tau := range want {
 			for loc := range want[tau] {
 				if math.Abs(got[tau][loc]-want[tau][loc]) > 1e-9 {
 					t.Fatalf("trial %d: marginal[%d][%d] = %v, want %v",
 						trial, tau, loc, got[tau][loc], want[tau][loc])
 				}
+			}
+		}
+	}
+}
+
+// TestPropertyWalkPathsRetainable is the regression test for the WalkPaths
+// aliasing bug: the recursion used to hand callbacks a slice sharing its
+// backing array across sibling branches, so retained paths were silently
+// overwritten. Collect every path first, validate them all afterwards.
+func TestPropertyWalkPathsRetainable(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	for trial := 0; trial < 200; trial++ {
+		ls, ic := randomScenario(rng)
+		g, err := Build(ls, ic, nil)
+		if errors.Is(err, ErrNoValidTrajectory) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paths [][]*Node
+		var probs []float64
+		err = g.WalkPaths(1<<20, func(path []*Node, p float64) {
+			paths = append(paths, path)
+			probs = append(probs, p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		for i, path := range paths {
+			// Retained paths must still be intact, distinct source-to-target
+			// paths with their reported probabilities.
+			p, err := g.PathProbability(path)
+			if err != nil {
+				t.Fatalf("trial %d: retained path %d no longer valid: %v", trial, i, err)
+			}
+			if math.Abs(p-probs[i]) > 1e-12 {
+				t.Fatalf("trial %d: retained path %d has prob %v, reported %v", trial, i, p, probs[i])
+			}
+			key := TrajectoryKey(Trajectory(path))
+			if seen[key] {
+				t.Fatalf("trial %d: retained paths collapsed onto %s", trial, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// TestPropertyFilterBeamWideEnoughIsExact: beam-filtered streaming with a
+// beam at least as wide as the frontier ever gets equals exact filtering,
+// which in turn equals the LenientEnd graph's final marginal.
+func TestPropertyFilterBeamWideEnoughIsExact(t *testing.T) {
+	rng := stats.NewRNG(98765)
+	for trial := 0; trial < 200; trial++ {
+		ls, ic := randomScenario(rng)
+		numLocs := ls.NumLocations()
+		exact := NewFilter(ic, nil)
+		wide := NewFilter(ic, &FilterOptions{Beam: 1 << 16})
+		narrow := NewFilter(ic, &FilterOptions{Beam: 1})
+		dead := false
+		for step := 0; step < ls.Duration(); step++ {
+			cands := ls.Steps[step].Candidates
+			errE := exact.Observe(cands)
+			errW := wide.Observe(cands)
+			if (errE == nil) != (errW == nil) {
+				t.Fatalf("trial %d step %d: exact err %v, wide-beam err %v", trial, step, errE, errW)
+			}
+			if errE != nil {
+				dead = true
+				break
+			}
+			// The narrow beam may die where exact survives (it is an
+			// approximation) but must never fail in some other way.
+			if errN := narrow.Observe(cands); errN != nil {
+				if !errors.Is(errN, ErrNoValidTrajectory) {
+					t.Fatalf("trial %d step %d: narrow beam error %v", trial, step, errN)
+				}
+				narrow = nil
+			}
+			de, err := exact.Current(numLocs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dw, err := wide.Current(numLocs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for loc := range de {
+				if math.Abs(de[loc]-dw[loc]) > 1e-9 {
+					t.Fatalf("trial %d step %d loc %d: exact %v, wide beam %v",
+						trial, step, loc, de[loc], dw[loc])
+				}
+			}
+			if narrow == nil {
+				narrow = NewFilter(ic, &FilterOptions{Beam: 1}) // restart; prefix died
+				dead = true
+				break
+			}
+			if n, err := narrow.Current(numLocs); err != nil {
+				t.Fatal(err)
+			} else if narrow.FrontierSize() > 1 || len(n) != numLocs {
+				t.Fatalf("trial %d step %d: beam-1 frontier %d", trial, step, narrow.FrontierSize())
+			}
+		}
+		if dead {
+			continue
+		}
+		// At the final timestamp exact filtering equals the LenientEnd
+		// graph's smoothed marginal.
+		g, err := Build(ls, ic, &Options{EndLatency: constraints.LenientEnd})
+		if err != nil {
+			t.Fatalf("trial %d: filter survived but Build failed: %v", trial, err)
+		}
+		marg, err := g.Marginals(numLocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exact.Current(numLocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := marg[g.Duration()-1]
+		for loc := range want {
+			if math.Abs(got[loc]-want[loc]) > 1e-9 {
+				t.Fatalf("trial %d loc %d: filter %v, graph %v", trial, loc, got[loc], want[loc])
 			}
 		}
 	}

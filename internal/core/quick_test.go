@@ -70,24 +70,26 @@ func TestQuickTrajectoryKeyInjective(t *testing.T) {
 	}
 }
 
-// TestQuickNodeKeyReflectsIdentity: node keys agree exactly with field
-// equality over a bounded domain.
+// TestQuickNodeKeyReflectsIdentity: interned node keys agree exactly with
+// field equality over a bounded domain.
 func TestQuickNodeKeyReflectsIdentity(t *testing.T) {
-	mk := func(loc, stay uint8, tlLoc, tlTime uint8, hasTL bool) *Node {
+	in := newTLInterner()
+	mk := func(loc, stay uint8, tlLoc, tlTime uint8, hasTL bool) (*Node, nodeKey) {
 		n := &Node{Time: 1, Loc: int(loc % 8), Stay: int(stay % 3)}
 		if hasTL {
 			n.TL = []TLEntry{{Time: int(tlTime % 4), Loc: int(tlLoc % 8)}}
 		}
-		return n
+		k := nodeKey{loc: int32(n.Loc), stay: int32(n.Stay), tl: in.intern(n.TL)}
+		return n, k
 	}
 	f := func(l1, s1, tl1, tt1 uint8, h1 bool, l2, s2, tl2, tt2 uint8, h2 bool) bool {
-		a := mk(l1, s1, tl1, tt1, h1)
-		b := mk(l2, s2, tl2, tt2, h2)
+		a, ka := mk(l1, s1, tl1, tt1, h1)
+		b, kb := mk(l2, s2, tl2, tt2, h2)
 		equal := a.Loc == b.Loc && a.Stay == b.Stay && len(a.TL) == len(b.TL)
 		if equal && len(a.TL) == 1 {
 			equal = a.TL[0] == b.TL[0]
 		}
-		return (a.key() == b.key()) == equal
+		return (ka == kb) == equal
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

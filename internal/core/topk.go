@@ -6,7 +6,10 @@ import "sort"
 // conditioned probabilities, in descending probability order. TopK(1) is
 // MostProbable. It generalizes Viterbi decoding with per-node k-best lists,
 // so its cost is O(k·|E|·log k) regardless of how many trajectories the
-// graph encodes.
+// graph encodes. The k-best lists are addressed by the nodes' dense
+// per-level indices, kept sorted by a bounded insertion (the lists hold at
+// most k entries), and hypotheses that cannot enter a full list are
+// rejected before anything is allocated.
 func (g *Graph) TopK(k int) ([][]int, []float64) {
 	if k <= 0 || g.Duration() == 0 {
 		return nil, nil
@@ -16,30 +19,52 @@ func (g *Graph) TopK(k int) ([][]int, []float64) {
 		prev *hyp
 		node *Node
 	}
-	best := make(map[*Node][]*hyp)
-	push := func(n *Node, h *hyp) {
-		list := append(best[n], h)
-		sort.Slice(list, func(i, j int) bool { return list[i].p > list[j].p })
-		if len(list) > k {
-			list = list[:k]
+	// Hypotheses come from an arena: blocks are never reallocated, so the
+	// prev pointers stay stable.
+	var arena []hyp
+	newHyp := func(p float64, prev *hyp, node *Node) *hyp {
+		if len(arena) == cap(arena) {
+			arena = make([]hyp, 0, 1024)
 		}
-		best[n] = list
+		arena = arena[:len(arena)+1]
+		h := &arena[len(arena)-1]
+		*h = hyp{p: p, prev: prev, node: node}
+		return h
+	}
+	best := make([][][]*hyp, g.Duration())
+	for t := range best {
+		best[t] = make([][]*hyp, len(g.byTime[t]))
+	}
+	push := func(n *Node, p float64, prev *hyp) {
+		list := best[n.Time][n.idx]
+		if len(list) == k {
+			if p <= list[k-1].p {
+				return
+			}
+			list[k-1] = newHyp(p, prev, n)
+		} else {
+			list = append(list, newHyp(p, prev, n))
+		}
+		for i := len(list) - 1; i > 0 && list[i].p > list[i-1].p; i-- {
+			list[i], list[i-1] = list[i-1], list[i]
+		}
+		best[n.Time][n.idx] = list
 	}
 	for _, src := range g.Sources() {
-		push(src, &hyp{p: src.prob, node: src})
+		push(src, src.prob, nil)
 	}
 	for t := 0; t+1 < g.Duration(); t++ {
 		for _, n := range g.byTime[t] {
-			for _, h := range best[n] {
+			for _, h := range best[t][n.idx] {
 				for _, e := range n.out {
-					push(e.To, &hyp{p: h.p * e.P, prev: h, node: e.To})
+					push(e.To, h.p*e.P, h)
 				}
 			}
 		}
 	}
 	var finals []*hyp
 	for _, tgt := range g.Targets() {
-		finals = append(finals, best[tgt]...)
+		finals = append(finals, best[tgt.Time][tgt.idx]...)
 	}
 	sort.Slice(finals, func(i, j int) bool { return finals[i].p > finals[j].p })
 	if len(finals) > k {

@@ -18,12 +18,12 @@ func (e *Engine) TransitionMatrix() [][]float64 {
 	}
 	for t := 0; t+1 < e.g.Duration(); t++ {
 		for _, n := range e.g.NodesAt(t) {
-			a := e.alpha[n]
+			a := e.alpha[t][n.Index()]
 			if a == 0 {
 				continue
 			}
 			for _, edge := range n.Out() {
-				out[n.Loc][edge.To.Loc] += a * edge.P * e.beta[edge.To]
+				out[n.Loc][edge.To.Loc] += a * edge.P * e.beta[t+1][edge.To.Index()]
 			}
 		}
 	}
@@ -64,7 +64,7 @@ func (e *Engine) Events() []Event {
 		// Aggregate node masses per location.
 		byLoc := make(map[int]float64)
 		for _, n := range e.g.NodesAt(t) {
-			byLoc[n.Loc] += e.alpha[n] * e.beta[n]
+			byLoc[n.Loc] += e.alpha[t][n.Index()] * e.beta[t][n.Index()]
 		}
 		for loc, p := range byLoc {
 			if p > bestP || (p == bestP && loc < bestLoc) {

@@ -14,7 +14,7 @@ type Engine struct {
 	g      *core.Graph
 	numLoc int
 
-	alpha, beta map[*core.Node]float64
+	alpha, beta [][]float64 // indexed [tau][node.Index()]
 }
 
 // NewEngine returns a query engine over the graph. numLocations must exceed
@@ -39,7 +39,10 @@ func (e *Engine) Stay(tau int) ([]float64, error) {
 	e.ensurePasses()
 	dist := make([]float64, e.numLoc)
 	for _, n := range e.g.NodesAt(tau) {
-		dist[n.Loc] += e.alpha[n] * e.beta[n]
+		if n.Loc >= e.numLoc {
+			return nil, fmt.Errorf("query: node location ID %d outside [0, %d)", n.Loc, e.numLoc)
+		}
+		dist[n.Loc] += e.alpha[tau][n.Index()] * e.beta[tau][n.Index()]
 	}
 	return dist, nil
 }

@@ -24,29 +24,34 @@ func (e *Engine) EverIn(loc, from, to int) (float64, error) {
 	avoid := func(n *core.Node) bool {
 		return n.Loc == loc && n.Time >= from && n.Time <= to
 	}
-	// Forward mass restricted to paths avoiding loc within the window.
-	alpha := make(map[*core.Node]float64)
+	// Forward mass restricted to paths avoiding loc within the window,
+	// indexed by the nodes' dense per-level indices.
+	alpha := make([][]float64, e.g.Duration())
+	for t := range alpha {
+		alpha[t] = make([]float64, len(e.g.NodesAt(t)))
+	}
 	for _, src := range e.g.Sources() {
 		if !avoid(src) {
-			alpha[src] = src.SourceProb()
+			alpha[0][src.Index()] = src.SourceProb()
 		}
 	}
 	for t := 0; t+1 < e.g.Duration(); t++ {
 		for _, n := range e.g.NodesAt(t) {
-			a, ok := alpha[n]
-			if !ok {
+			a := alpha[t][n.Index()]
+			if a == 0 {
 				continue
 			}
 			for _, edge := range n.Out() {
 				if !avoid(edge.To) {
-					alpha[edge.To] += a * edge.P
+					alpha[t+1][edge.To.Index()] += a * edge.P
 				}
 			}
 		}
 	}
 	var never float64
+	last := e.g.Duration() - 1
 	for _, n := range e.g.Targets() {
-		never += alpha[n]
+		never += alpha[last][n.Index()]
 	}
 	if never > 1 {
 		never = 1
@@ -69,7 +74,7 @@ func (e *Engine) ExpectedVisitTime(loc, from, to int) (float64, error) {
 	for t := from; t <= to; t++ {
 		for _, n := range e.g.NodesAt(t) {
 			if n.Loc == loc {
-				total += e.alpha[n] * e.beta[n]
+				total += e.alpha[t][n.Index()] * e.beta[t][n.Index()]
 			}
 		}
 	}

@@ -129,7 +129,10 @@ func TestStayMatchesMarginals(t *testing.T) {
 		{1.0 / 3, 1.0 / 3, 1.0 / 3},
 	}, ic)
 	e := NewEngine(g, 3)
-	m := g.Marginals(3)
+	m, err := g.Marginals(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for tau := 0; tau < 3; tau++ {
 		dist, err := e.Stay(tau)
 		if err != nil {

@@ -8,6 +8,7 @@
 //	POST   /v1/deployments                 deployment JSON -> {"id": ...}
 //	GET    /v1/deployments                 list deployments
 //	POST   /v1/clean                       CleanRequest -> CleanResponse
+//	POST   /v1/clean/batch                 BatchCleanRequest -> []BatchCleanResult
 //	GET    /v1/trajectories/{id}/stay?t=N  stay-query distribution
 //	GET    /v1/trajectories/{id}/match?pattern=...  trajectory query
 //	GET    /v1/trajectories/{id}/top?k=N   k most probable trajectories
@@ -39,8 +40,16 @@ type Server struct {
 	trajectories map[string]*trajectory
 	nextDep      int
 	nextTraj     int
+	workers      int
 
 	mux *http.ServeMux
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers caps how many sequences a batch clean processes concurrently.
+	// Zero or negative uses GOMAXPROCS.
+	Workers int
 }
 
 type deployment struct {
@@ -55,15 +64,20 @@ type trajectory struct {
 	cleaned *rfidclean.Cleaned
 }
 
-// New returns a ready-to-serve Server.
-func New() *Server {
+// New returns a ready-to-serve Server with default options.
+func New() *Server { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a ready-to-serve Server.
+func NewWithOptions(opts Options) *Server {
 	s := &Server{
 		deployments:  make(map[string]*deployment),
 		trajectories: make(map[string]*trajectory),
+		workers:      opts.Workers,
 		mux:          http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/deployments", s.handleDeployments)
 	s.mux.HandleFunc("/v1/clean", s.handleClean)
+	s.mux.HandleFunc("/v1/clean/batch", s.handleCleanBatch)
 	s.mux.HandleFunc("/v1/trajectories/", s.handleTrajectory)
 	return s
 }
@@ -213,6 +227,88 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, CleanResponse{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes})
 }
 
+// BatchCleanRequest asks the server to clean many independent reading
+// sequences against one deployment in a single call. The sequences are
+// cleaned concurrently (bounded by the server's worker option) and each
+// slot succeeds or fails on its own.
+type BatchCleanRequest struct {
+	// Deployment is the id returned by POST /v1/deployments.
+	Deployment string `json:"deployment"`
+	// Sequences are the independent objects' reading sequences.
+	Sequences []rfidclean.ReadingSequence `json:"sequences"`
+	// MaxSpeed, MinStay, TTCap and StrictEnd mirror CleanRequest and apply
+	// to every sequence in the batch.
+	MaxSpeed  float64 `json:"maxSpeed"`
+	MinStay   int     `json:"minStay"`
+	TTCap     int     `json:"ttCap"`
+	StrictEnd bool    `json:"strictEnd"`
+}
+
+// BatchCleanResult is the outcome for one slot of a batch clean: either a
+// stored trajectory (Error empty) or a per-slot failure (ID empty).
+type BatchCleanResult struct {
+	ID    string `json:"id,omitempty"`
+	Nodes int    `json:"nodes,omitempty"`
+	Edges int    `json:"edges,omitempty"`
+	Bytes int    `json:"bytes,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleCleanBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req BatchCleanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	dep := s.deployments[req.Deployment]
+	s.mu.Unlock()
+	if dep == nil {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", req.Deployment)
+		return
+	}
+	if req.MaxSpeed <= 0 {
+		writeError(w, http.StatusBadRequest, "maxSpeed must be positive")
+		return
+	}
+	if len(req.Sequences) == 0 {
+		writeError(w, http.StatusBadRequest, "sequences must be non-empty")
+		return
+	}
+	ic, err := dep.sys.InferConstraints(req.MaxSpeed, req.MinStay, req.TTCap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
+		return
+	}
+	mode := rfidclean.LenientEnd
+	if req.StrictEnd {
+		mode = rfidclean.StrictEnd
+	}
+	cleaned, errs := dep.sys.CleanAll(req.Sequences, ic, &rfidclean.BatchOptions{
+		Build:   &rfidclean.BuildOptions{EndLatency: mode},
+		Workers: s.workers,
+	})
+	out := make([]BatchCleanResult, len(req.Sequences))
+	for i := range req.Sequences {
+		if errs[i] != nil {
+			out[i] = BatchCleanResult{Error: errs[i].Error()}
+			continue
+		}
+		s.mu.Lock()
+		s.nextTraj++
+		id := "t" + strconv.Itoa(s.nextTraj)
+		s.trajectories[id] = &trajectory{id: id, depID: dep.id, cleaned: cleaned[i]}
+		s.mu.Unlock()
+		st := cleaned[i].Stats()
+		out[i] = BatchCleanResult{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // handleTrajectory routes /v1/trajectories/{id}[/{op}].
 func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/trajectories/")
@@ -326,7 +422,11 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, traj *traject
 }
 
 func (s *Server) handleOccupancy(w http.ResponseWriter, traj *trajectory) {
-	occ := traj.cleaned.ExpectedOccupancy()
+	occ, err := traj.cleaned.ExpectedOccupancy()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	out := make([]LocationProb, 0)
 	for loc, sec := range occ {
 		if sec > 1e-9 {

@@ -327,6 +327,91 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
+func TestServerBatchClean(t *testing.T) {
+	base, depID, sys, _ := harness(t)
+
+	// Three healthy sequences plus one empty one: the healthy slots store
+	// trajectories, the empty slot reports its own error.
+	rng := rfidclean.NewRNG(11)
+	seqs := make([]rfidclean.ReadingSequence, 4)
+	for i := range seqs {
+		if i == 2 {
+			continue // leave slot 2 empty
+		}
+		truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(60), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = rfidclean.GenerateReadings(truth, sys.Truth, rng)
+	}
+	body, err := json.Marshal(BatchCleanRequest{
+		Deployment: depID, Sequences: seqs, MaxSpeed: 2, MinStay: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/clean/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	var out []BatchCleanResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(seqs) {
+		t.Fatalf("batch returned %d slots, want %d", len(out), len(seqs))
+	}
+	for i, res := range out {
+		if i == 2 {
+			if res.Error == "" || res.ID != "" {
+				t.Errorf("empty slot %d: %+v, want error", i, res)
+			}
+			continue
+		}
+		if res.Error != "" || res.ID == "" || res.Nodes == 0 {
+			t.Errorf("slot %d: %+v, want stored trajectory", i, res)
+			continue
+		}
+		// Each stored trajectory is individually queryable.
+		var stats CleanResponse
+		if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s", base, res.ID), &stats); code != http.StatusOK {
+			t.Errorf("slot %d trajectory %s not queryable (%d)", i, res.ID, code)
+		}
+	}
+
+	// Error paths.
+	for name, req := range map[string]BatchCleanRequest{
+		"unknown deployment": {Deployment: "d999", Sequences: seqs[:1], MaxSpeed: 2},
+		"zero speed":         {Deployment: depID, Sequences: seqs[:1]},
+		"no sequences":       {Deployment: depID, MaxSpeed: 2},
+	} {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.Post(base+"/v1/clean/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			t.Errorf("%s: batch accepted (%d)", name, r.StatusCode)
+		}
+	}
+	g, err := http.Get(base + "/v1/clean/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch status = %d", g.StatusCode)
+	}
+}
+
 func TestServerInconsistentReadings(t *testing.T) {
 	// A rooms-only deployment (no LT-exempt corridor): a minimum stay far
 	// longer than the window makes every interpretation invalid under

@@ -11,7 +11,7 @@ import (
 
 // demoSystem builds a small public-API-only deployment: two rooms joined to
 // a corridor, one reader per location.
-func demoSystem(t *testing.T) *rfidclean.System {
+func demoSystem(t testing.TB) *rfidclean.System {
 	t.Helper()
 	b := rfidclean.NewMapBuilder()
 	cor := b.AddLocation("corridor", rfidclean.Corridor, 0, rfidclean.RectWH(0, 0, 12, 3))
@@ -143,7 +143,10 @@ func TestEndToEndPublicAPI(t *testing.T) {
 	}
 
 	// Marginals agree with stay queries.
-	m := cleaned.Marginals()
+	m, err := cleaned.Marginals()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for locID := range dist {
 		if math.Abs(m[60][locID]-dist[locID]) > 1e-9 {
 			t.Errorf("marginals disagree with stay query at loc %d", locID)
@@ -284,7 +287,10 @@ func TestFacadeExtensions(t *testing.T) {
 	}
 
 	// Expected occupancy sums to the duration.
-	occ := cleaned.ExpectedOccupancy()
+	occ, err := cleaned.ExpectedOccupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := 0.0
 	for _, o := range occ {
 		total += o
