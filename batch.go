@@ -1,6 +1,7 @@
 package rfidclean
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,6 +15,11 @@ type BatchOptions struct {
 	// Workers caps the number of sequences cleaned concurrently. Zero or
 	// negative uses GOMAXPROCS.
 	Workers int
+	// Context optionally bounds the batch: once it is done, slots that have
+	// not started cleaning fail with the context's error instead of running.
+	// Sequences already being cleaned run to completion. Nil means no
+	// cancellation.
+	Context context.Context
 }
 
 func (o *BatchOptions) workers() int {
@@ -28,6 +34,13 @@ func (o *BatchOptions) build() *BuildOptions {
 		return nil
 	}
 	return o.Build
+}
+
+func (o *BatchOptions) context() context.Context {
+	if o != nil && o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // CleanAll cleans many objects' reading sequences concurrently over a
@@ -58,6 +71,8 @@ func (s *System) CleanAll(readings []ReadingSequence, ic *ConstraintSet, opts *B
 		workers = len(readings)
 	}
 	build := opts.build()
+	ctx := opts.context()
+	done := ctx.Done()
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -66,12 +81,25 @@ func (s *System) CleanAll(readings []ReadingSequence, ic *ConstraintSet, opts *B
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				cleaned[i], errs[i] = s.Clean(readings[i], ic, build)
 			}
 		}()
 	}
+dispatch:
 	for i := range readings {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			// Slots from i on were never handed to a worker; fail them here.
+			for j := i; j < len(readings); j++ {
+				errs[j] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package rfidclean_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -155,5 +156,32 @@ func BenchmarkCleanAll(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestCleanAllCancelled: a done context fails every slot with the context's
+// error instead of cleaning; a live context cleans normally.
+func TestCleanAllCancelled(t *testing.T) {
+	sys := demoSystem(t)
+	ic, err := sys.InferConstraints(2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := batchReadings(t, sys, 6, 30, 8)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cleaned, errs := sys.CleanAll(readings, ic, &rfidclean.BatchOptions{Workers: 2, Context: ctx})
+	for i := range readings {
+		if cleaned[i] != nil || !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("slot %d: cleaned=%v err=%v, want context.Canceled", i, cleaned[i], errs[i])
+		}
+	}
+
+	cleaned, errs = sys.CleanAll(readings, ic, &rfidclean.BatchOptions{Workers: 2, Context: context.Background()})
+	for i := range readings {
+		if errs[i] != nil || cleaned[i] == nil {
+			t.Fatalf("live-context slot %d: err=%v", i, errs[i])
+		}
 	}
 }

@@ -2,6 +2,7 @@ package rfidclean
 
 import (
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/floorplan"
@@ -15,6 +16,9 @@ type Cleaned struct {
 	graph  *core.Graph
 	plan   *floorplan.Plan
 	engine *query.Engine
+
+	statsOnce sync.Once
+	stats     core.Stats
 }
 
 func newCleaned(g *core.Graph, plan *floorplan.Plan) *Cleaned {
@@ -151,8 +155,13 @@ func (c *Cleaned) Events() []Event { return c.engine.Events() }
 // entries count stays).
 func (c *Cleaned) TransitionMatrix() [][]float64 { return c.engine.TransitionMatrix() }
 
-// Stats reports the size of the conditioned trajectory graph.
-func (c *Cleaned) Stats() GraphStats { return c.graph.Stats() }
+// Stats reports the size of the conditioned trajectory graph. The graph is
+// immutable once built, so the walk runs once and the result is memoized —
+// serving layers can account store bytes per request without re-walking.
+func (c *Cleaned) Stats() GraphStats {
+	c.statsOnce.Do(func() { c.stats = c.graph.Stats() })
+	return c.stats
+}
 
 // GraphStats summarizes a ct-graph's size.
 type GraphStats = core.Stats

@@ -13,17 +13,31 @@
 //	curl ':8080/v1/trajectories/t1/match?pattern=%3F+lab%5B30%5D+%3F'
 //	curl ':8080/v1/trajectories/t1/top?k=3'
 //	curl ':8080/v1/trajectories/t1/occupancy'
+//	curl ':8080/healthz'
+//	curl ':8080/metrics'
 //
 // With -demo, the server starts preloaded with the SYN1 deployment so the
-// API can be exercised immediately.
+// API can be exercised immediately. -max-body caps POST body sizes,
+// -max-store-bytes puts the trajectory store under an LRU byte budget, and
+// -pprof mounts net/http/pprof under /debug/pprof/. On SIGINT/SIGTERM the
+// server stops accepting connections and drains in-flight requests for up
+// to -drain-timeout before exiting.
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	rfidclean "repro"
@@ -31,32 +45,103 @@ import (
 	"repro/internal/server"
 )
 
+// config carries the daemon's settings; main fills it from flags, tests fill
+// it directly.
+type config struct {
+	addr          string
+	demo          bool
+	workers       int
+	maxBody       int64
+	maxStoreBytes int64
+	pprof         bool
+	drain         time.Duration
+
+	ready chan<- net.Addr // if non-nil, receives the bound listen address
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rfidcleand: ")
 
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		demo    = flag.Bool("demo", false, "preload the SYN1 deployment as d1")
-		workers = flag.Int("workers", 0, "batch-clean concurrency (0 = GOMAXPROCS)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.BoolVar(&cfg.demo, "demo", false, "preload the SYN1 deployment as d1")
+	flag.IntVar(&cfg.workers, "workers", 0, "batch-clean concurrency (0 = GOMAXPROCS)")
+	flag.Int64Var(&cfg.maxBody, "max-body", server.DefaultMaxBodyBytes, "max POST body bytes (<= 0 disables the cap)")
+	flag.Int64Var(&cfg.maxStoreBytes, "max-store-bytes", 0, "trajectory-store byte budget with LRU eviction (0 = unlimited)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.DurationVar(&cfg.drain, "drain-timeout", 10*time.Second, "how long to drain in-flight requests on shutdown")
 	flag.Parse()
 
-	srv := server.NewWithOptions(server.Options{Workers: *workers})
-	if *demo {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves until ctx is cancelled, then shuts down gracefully: the
+// listener closes immediately, in-flight requests get up to cfg.drain to
+// finish, and only then does run return.
+func run(ctx context.Context, cfg config) error {
+	maxBody := cfg.maxBody
+	if maxBody <= 0 {
+		maxBody = -1 // Options treats 0 as "default"; negative disables
+	}
+	srv := server.NewWithOptions(server.Options{
+		Workers:       cfg.workers,
+		MaxBodyBytes:  maxBody,
+		MaxStoreBytes: cfg.maxStoreBytes,
+	})
+	if cfg.demo {
 		if err := preloadSYN1(srv); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("preloaded SYN1 as deployment d1")
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr()
+	}
+	log.Printf("listening on %s", ln.Addr())
+
 	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(httpServer.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests (up to %s)", cfg.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // preloadSYN1 registers the built-in SYN1 dataset's deployment by posting it

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	rfidclean "repro"
+)
+
+// constraintCache memoizes constraint inference for one deployment, keyed by
+// the request parameters that drive it. DU/LT/TT inference walks the whole
+// map (all-pairs shortest travel times for TT), so repeated cleans against
+// the same deployment with the same parameters — the warehouse steady state
+// — should pay for it once. Entries are LRU-evicted past maxEntries.
+//
+// Concurrent misses on the same key run inference exactly once: the entry is
+// published under the cache lock and computed under its own sync.Once, so a
+// slow inference never blocks lookups of other keys.
+type constraintCache struct {
+	maxEntries int
+
+	mu      sync.Mutex
+	entries map[rfidclean.ConstraintParams]*cacheEntry
+	lru     *list.List // of *cacheEntry; front = most recently used
+}
+
+type cacheEntry struct {
+	key  rfidclean.ConstraintParams
+	elem *list.Element
+
+	once sync.Once
+	ic   *rfidclean.ConstraintSet
+	err  error
+}
+
+const defaultCacheEntries = 64
+
+func newConstraintCache(maxEntries int) *constraintCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheEntries
+	}
+	return &constraintCache{
+		maxEntries: maxEntries,
+		entries:    make(map[rfidclean.ConstraintParams]*cacheEntry),
+		lru:        list.New(),
+	}
+}
+
+// get returns the constraint set for p, running infer only on a miss. The
+// error (deterministic for fixed parameters and map) is cached alongside the
+// set. hit reports whether the entry already existed, whether or not its
+// computation had finished.
+func (c *constraintCache) get(p rfidclean.ConstraintParams, infer func() (*rfidclean.ConstraintSet, error)) (ic *rfidclean.ConstraintSet, err error, hit bool) {
+	c.mu.Lock()
+	e := c.entries[p]
+	hit = e != nil
+	if hit {
+		c.lru.MoveToFront(e.elem)
+	} else {
+		e = &cacheEntry{key: p}
+		e.elem = c.lru.PushFront(e)
+		c.entries[p] = e
+		for c.lru.Len() > c.maxEntries {
+			old := c.lru.Remove(c.lru.Back()).(*cacheEntry)
+			delete(c.entries, old.key)
+		}
+	}
+	c.mu.Unlock()
+	// An entry evicted while still being computed stays valid for the
+	// goroutines already holding it; it just won't be found again.
+	e.once.Do(func() { e.ic, e.err = infer() })
+	return e.ic, e.err, hit
+}
+
+// len reports the number of cached entries.
+func (c *constraintCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal, stdlib-only metrics registry for the query head.
+// It knows exactly the instruments the server needs — counters, gauges, one
+// kind of histogram, and counters fanned out over a small label set — and
+// renders them in the Prometheus text exposition format at GET /metrics.
+// Pulling in a client library for a handful of gauges would dwarf the server
+// itself; the format is simple enough to emit directly.
+
+// counter is a monotonically increasing metric.
+type counter struct{ n atomic.Uint64 }
+
+func (c *counter) inc()          { c.n.Add(1) }
+func (c *counter) value() uint64 { return c.n.Load() }
+
+// gauge is a metric that can go up and down.
+type gauge struct{ n atomic.Int64 }
+
+func (g *gauge) set(v int64)  { g.n.Store(v) }
+func (g *gauge) add(d int64)  { g.n.Add(d) }
+func (g *gauge) value() int64 { return g.n.Load() }
+
+// labeled fans a counter out over the value combinations of a fixed label
+// list (e.g. {mode, outcome}).
+type labeled struct {
+	labels []string
+	mu     sync.Mutex
+	vals   map[string]*counter // key = label values joined with \x00
+}
+
+func newLabeled(labels ...string) *labeled {
+	return &labeled{labels: labels, vals: make(map[string]*counter)}
+}
+
+func (l *labeled) inc(values ...string) {
+	if len(values) != len(l.labels) {
+		panic("server: labeled counter arity mismatch")
+	}
+	key := strings.Join(values, "\x00")
+	l.mu.Lock()
+	c := l.vals[key]
+	if c == nil {
+		c = &counter{}
+		l.vals[key] = c
+	}
+	l.mu.Unlock()
+	c.inc()
+}
+
+// get returns the current count for one label-value combination (testing and
+// health reporting; missing series read as zero).
+func (l *labeled) get(values ...string) uint64 {
+	key := strings.Join(values, "\x00")
+	l.mu.Lock()
+	c := l.vals[key]
+	l.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.value()
+}
+
+// histogram is a Prometheus-style cumulative histogram with fixed bounds.
+type histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64 // per-bucket (not cumulative); counts[len(bounds)] = +Inf
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// metrics is the server's registry. All fields are safe for concurrent use.
+type metrics struct {
+	// Request counters.
+	cleanRequests *labeled // {mode: single|group|batch, outcome}
+	batchSlots    *labeled // {outcome: ok|error}
+	queryOps      *labeled // {op: stay|match|top|occupancy|stats|delete}
+
+	// Constraint cache.
+	cacheHits   counter
+	cacheMisses counter
+
+	// Latency and size distributions.
+	cleanSeconds *histogram
+	graphBytes   *histogram
+
+	// Trajectory store.
+	storeBytes     gauge
+	storeCount     gauge
+	storeEvictions counter
+
+	// Resource bounds and liveness.
+	deployments    gauge
+	bodyRejections counter
+	inflight       gauge // /v1/ requests currently being served
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		cleanRequests: newLabeled("mode", "outcome"),
+		batchSlots:    newLabeled("outcome"),
+		queryOps:      newLabeled("op"),
+		cleanSeconds: newHistogram(
+			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+		),
+		graphBytes: newHistogram(
+			1<<10, 4<<10, 16<<10, 64<<10, 256<<10, 1<<20, 4<<20, 16<<20,
+		),
+	}
+}
+
+// ServeHTTP renders the registry in the Prometheus text format.
+func (m *metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.writeTo(w)
+}
+
+func (m *metrics) writeTo(w io.Writer) {
+	writeLabeled(w, "rfidclean_clean_requests_total",
+		"Clean requests served, by mode and outcome.", m.cleanRequests)
+	writeLabeled(w, "rfidclean_batch_slots_total",
+		"Individual batch-clean slots, by outcome.", m.batchSlots)
+	writeLabeled(w, "rfidclean_query_ops_total",
+		"Trajectory query operations served, by operation.", m.queryOps)
+	writeCounter(w, "rfidclean_constraint_cache_hits_total",
+		"Clean requests that reused a cached constraint set.", &m.cacheHits)
+	writeCounter(w, "rfidclean_constraint_cache_misses_total",
+		"Clean requests that ran DU/LT/TT constraint inference.", &m.cacheMisses)
+	writeHistogram(w, "rfidclean_clean_duration_seconds",
+		"End-to-end latency of successful clean requests.", m.cleanSeconds)
+	writeHistogram(w, "rfidclean_graph_bytes",
+		"Estimated size of stored conditioned trajectory graphs.", m.graphBytes)
+	writeGauge(w, "rfidclean_store_bytes",
+		"Estimated bytes of trajectory graphs currently stored.", &m.storeBytes)
+	writeGauge(w, "rfidclean_store_trajectories",
+		"Trajectory graphs currently stored.", &m.storeCount)
+	writeCounter(w, "rfidclean_store_evictions_total",
+		"Trajectory graphs evicted to fit the store byte budget.", &m.storeEvictions)
+	writeGauge(w, "rfidclean_deployments",
+		"Deployments currently registered.", &m.deployments)
+	writeCounter(w, "rfidclean_body_rejections_total",
+		"POST bodies rejected for exceeding the size limit.", &m.bodyRejections)
+	writeGauge(w, "rfidclean_inflight_requests",
+		"API (/v1/) requests currently being served.", &m.inflight)
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeCounter(w io.Writer, name, help string, c *counter) {
+	writeHeader(w, name, help, "counter")
+	fmt.Fprintf(w, "%s %d\n", name, c.value())
+}
+
+func writeGauge(w io.Writer, name, help string, g *gauge) {
+	writeHeader(w, name, help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", name, g.value())
+}
+
+func writeLabeled(w io.Writer, name, help string, l *labeled) {
+	writeHeader(w, name, help, "counter")
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.vals))
+	for k := range l.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.Split(k, "\x00")
+		pairs := make([]string, len(parts))
+		for i, v := range parts {
+			pairs[i] = fmt.Sprintf("%s=%q", l.labels[i], v)
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", name, strings.Join(pairs, ","), l.vals[k].value())
+	}
+	l.mu.Unlock()
+}
+
+func writeHistogram(w io.Writer, name, help string, h *histogram) {
+	writeHeader(w, name, help, "histogram")
+	h.mu.Lock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	h.mu.Unlock()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -14,9 +14,13 @@
 //	GET    /v1/trajectories/{id}/top?k=N   k most probable trajectories
 //	GET    /v1/trajectories/{id}/occupancy expected seconds per location
 //	DELETE /v1/trajectories/{id}           evict a cleaned graph
+//	GET    /healthz                        liveness + store occupancy
+//	GET    /metrics                        Prometheus text metrics
 //
 // The server keeps everything in memory; it is a query head, not a durable
-// store.
+// store. Constraint inference is memoized per deployment (keyed by the
+// clean parameters), POST bodies are size-limited, and the trajectory store
+// can run under a byte budget with least-recently-queried eviction.
 package server
 
 import (
@@ -28,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	rfidclean "repro"
 )
@@ -35,14 +40,17 @@ import (
 // Server is the HTTP query head. Create one with New and mount it as an
 // http.Handler.
 type Server struct {
-	mu           sync.Mutex
-	deployments  map[string]*deployment
-	trajectories map[string]*trajectory
-	nextDep      int
-	nextTraj     int
 	workers      int
+	maxBody      int64 // <= 0 disables the body cap
+	cacheEntries int   // per-deployment constraint cache capacity
 
-	mux *http.ServeMux
+	mu          sync.RWMutex // guards deployments and nextDep
+	deployments map[string]*deployment
+	nextDep     int
+
+	store   *trajStore
+	metrics *metrics
+	mux     *http.ServeMux
 }
 
 // Options configures a Server.
@@ -50,12 +58,28 @@ type Options struct {
 	// Workers caps how many sequences a batch clean processes concurrently.
 	// Zero or negative uses GOMAXPROCS.
 	Workers int
+	// MaxBodyBytes caps the size of POST request bodies; oversized requests
+	// are rejected with 413. Zero uses the default (32 MiB); negative
+	// disables the cap.
+	MaxBodyBytes int64
+	// MaxStoreBytes caps the total estimated size of stored trajectory
+	// graphs; past it, the least-recently-queried graphs are evicted. Zero
+	// or negative means unlimited.
+	MaxStoreBytes int64
+	// ConstraintCacheEntries caps the per-deployment constraint cache
+	// (zero or negative uses the default, 64 entries).
+	ConstraintCacheEntries int
 }
 
+// DefaultMaxBodyBytes is the POST body cap applied when Options.MaxBodyBytes
+// is zero.
+const DefaultMaxBodyBytes = 32 << 20
+
 type deployment struct {
-	id  string
-	dep *rfidclean.Deployment
-	sys *rfidclean.System
+	id    string
+	dep   *rfidclean.Deployment
+	sys   *rfidclean.System
+	cache *constraintCache
 }
 
 type trajectory struct {
@@ -69,21 +93,37 @@ func New() *Server { return NewWithOptions(Options{}) }
 
 // NewWithOptions returns a ready-to-serve Server.
 func NewWithOptions(opts Options) *Server {
+	maxBody := opts.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	m := newMetrics()
 	s := &Server{
 		deployments:  make(map[string]*deployment),
-		trajectories: make(map[string]*trajectory),
 		workers:      opts.Workers,
+		maxBody:      maxBody,
+		cacheEntries: opts.ConstraintCacheEntries,
+		store:        newTrajStore(opts.MaxStoreBytes, m),
+		metrics:      m,
 		mux:          http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/deployments", s.handleDeployments)
 	s.mux.HandleFunc("/v1/clean", s.handleClean)
 	s.mux.HandleFunc("/v1/clean/batch", s.handleCleanBatch)
 	s.mux.HandleFunc("/v1/trajectories/", s.handleTrajectory)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", m)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		s.metrics.inflight.add(1)
+		defer s.metrics.inflight.add(-1)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // apiError is the uniform error body.
 type apiError struct {
@@ -100,12 +140,49 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// limitBody applies the configured POST body cap.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+}
+
+// bodyError writes the uniform error for a failed body decode: 413 when the
+// size cap was hit, 400 otherwise. It returns the status written.
+func (s *Server) bodyError(w http.ResponseWriter, err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.metrics.bodyRejections.inc()
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return http.StatusRequestEntityTooLarge
+	}
+	writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+	return http.StatusBadRequest
+}
+
+// decodeBody decodes a size-limited JSON POST body into v, writing the error
+// response itself when decoding fails.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	s.limitBody(w, r)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.bodyError(w, err)
+		return false
+	}
+	return true
+}
+
 // handleDeployments serves POST (register) and GET (list).
 func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		s.limitBody(w, r)
 		dep, err := rfidclean.DecodeDeployment(r.Body)
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.bodyError(w, err)
+				return
+			}
 			writeError(w, http.StatusBadRequest, "invalid deployment: %v", err)
 			return
 		}
@@ -117,8 +194,13 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.nextDep++
 		id := "d" + strconv.Itoa(s.nextDep)
-		s.deployments[id] = &deployment{id: id, dep: dep, sys: sys}
+		s.deployments[id] = &deployment{
+			id: id, dep: dep, sys: sys,
+			cache: newConstraintCache(s.cacheEntries),
+		}
+		n := len(s.deployments)
 		s.mu.Unlock()
+		s.metrics.deployments.set(int64(n))
 		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
 	case http.MethodGet:
 		type row struct {
@@ -127,7 +209,7 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 			Locations int    `json:"locations"`
 			Readers   int    `json:"readers"`
 		}
-		s.mu.Lock()
+		s.mu.RLock()
 		rows := make([]row, 0, len(s.deployments))
 		for id, d := range s.deployments {
 			rows = append(rows, row{
@@ -136,12 +218,33 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 				Readers:   len(d.dep.Readers),
 			})
 		}
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
 		writeJSON(w, http.StatusOK, rows)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	}
+}
+
+// lookupDeployment resolves a deployment id under a read lock.
+func (s *Server) lookupDeployment(id string) *deployment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.deployments[id]
+}
+
+// constraints resolves the constraint set for a clean request through the
+// deployment's cache, recording the hit/miss.
+func (s *Server) constraints(dep *deployment, p rfidclean.ConstraintParams) (*rfidclean.ConstraintSet, error) {
+	ic, err, hit := dep.cache.get(p, func() (*rfidclean.ConstraintSet, error) {
+		return dep.sys.Constraints(p)
+	})
+	if hit {
+		s.metrics.cacheHits.inc()
+	} else {
+		s.metrics.cacheMisses.inc()
+	}
+	return ic, err
 }
 
 // CleanRequest asks the server to clean one reading sequence against a
@@ -177,34 +280,40 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
+	start := time.Now()
+	mode, outcome := "single", "error"
+	defer func() { s.metrics.cleanRequests.inc(mode, outcome) }()
+
 	var req CleanRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+	if !s.decodeBody(w, r, &req) {
+		outcome = "bad_request"
 		return
 	}
-	s.mu.Lock()
-	dep := s.deployments[req.Deployment]
-	s.mu.Unlock()
+	if len(req.Group) > 0 {
+		mode = "group"
+	}
+	dep := s.lookupDeployment(req.Deployment)
 	if dep == nil {
+		outcome = "not_found"
 		writeError(w, http.StatusNotFound, "unknown deployment %q", req.Deployment)
 		return
 	}
 	if req.MaxSpeed <= 0 {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "maxSpeed must be positive")
 		return
 	}
-	ic, err := dep.sys.InferConstraints(req.MaxSpeed, req.MinStay, req.TTCap)
+	ic, err := s.constraints(dep, rfidclean.ConstraintParams{
+		MaxSpeed: req.MaxSpeed, MinStay: req.MinStay, TTCap: req.TTCap,
+	})
 	if err != nil {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
 		return
 	}
-	mode := rfidclean.LenientEnd
-	if req.StrictEnd {
-		mode = rfidclean.StrictEnd
-	}
-	opts := &rfidclean.BuildOptions{EndLatency: mode}
+	opts := &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd)}
 	var cleaned *rfidclean.Cleaned
-	if len(req.Group) > 0 {
+	if mode == "group" {
 		group := append([]rfidclean.ReadingSequence{req.Readings}, req.Group...)
 		cleaned, err = dep.sys.CleanGroup(group, ic, opts)
 	} else {
@@ -212,19 +321,27 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case errors.Is(err, rfidclean.ErrNoValidTrajectory):
+		outcome = "inconsistent"
 		writeError(w, http.StatusUnprocessableEntity, "readings are inconsistent with the constraints")
 		return
 	case err != nil:
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "cleaning failed: %v", err)
 		return
 	}
-	s.mu.Lock()
-	s.nextTraj++
-	id := "t" + strconv.Itoa(s.nextTraj)
-	s.trajectories[id] = &trajectory{id: id, depID: dep.id, cleaned: cleaned}
-	s.mu.Unlock()
+	id := s.store.add(dep.id, cleaned)
 	st := cleaned.Stats()
+	outcome = "ok"
+	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())
+	s.metrics.graphBytes.observe(float64(st.Bytes))
 	writeJSON(w, http.StatusCreated, CleanResponse{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes})
+}
+
+func endMode(strict bool) rfidclean.EndLatencyMode {
+	if strict {
+		return rfidclean.StrictEnd
+	}
+	return rfidclean.LenientEnd
 }
 
 // BatchCleanRequest asks the server to clean many independent reading
@@ -259,53 +376,61 @@ func (s *Server) handleCleanBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
+	start := time.Now()
+	outcome := "error"
+	defer func() { s.metrics.cleanRequests.inc("batch", outcome) }()
+
 	var req BatchCleanRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+	if !s.decodeBody(w, r, &req) {
+		outcome = "bad_request"
 		return
 	}
-	s.mu.Lock()
-	dep := s.deployments[req.Deployment]
-	s.mu.Unlock()
+	dep := s.lookupDeployment(req.Deployment)
 	if dep == nil {
+		outcome = "not_found"
 		writeError(w, http.StatusNotFound, "unknown deployment %q", req.Deployment)
 		return
 	}
 	if req.MaxSpeed <= 0 {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "maxSpeed must be positive")
 		return
 	}
 	if len(req.Sequences) == 0 {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "sequences must be non-empty")
 		return
 	}
-	ic, err := dep.sys.InferConstraints(req.MaxSpeed, req.MinStay, req.TTCap)
+	ic, err := s.constraints(dep, rfidclean.ConstraintParams{
+		MaxSpeed: req.MaxSpeed, MinStay: req.MinStay, TTCap: req.TTCap,
+	})
 	if err != nil {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
 		return
 	}
-	mode := rfidclean.LenientEnd
-	if req.StrictEnd {
-		mode = rfidclean.StrictEnd
-	}
 	cleaned, errs := dep.sys.CleanAll(req.Sequences, ic, &rfidclean.BatchOptions{
-		Build:   &rfidclean.BuildOptions{EndLatency: mode},
+		Build:   &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd)},
 		Workers: s.workers,
+		Context: r.Context(), // a vanished client stops burning CPU on unstarted slots
 	})
+	// Allocate all ids in one critical section so a batch's ids are
+	// consecutive and never interleave with concurrent single cleans.
+	ids := s.store.addBatch(dep.id, cleaned)
 	out := make([]BatchCleanResult, len(req.Sequences))
 	for i := range req.Sequences {
 		if errs[i] != nil {
+			s.metrics.batchSlots.inc("error")
 			out[i] = BatchCleanResult{Error: errs[i].Error()}
 			continue
 		}
-		s.mu.Lock()
-		s.nextTraj++
-		id := "t" + strconv.Itoa(s.nextTraj)
-		s.trajectories[id] = &trajectory{id: id, depID: dep.id, cleaned: cleaned[i]}
-		s.mu.Unlock()
+		s.metrics.batchSlots.inc("ok")
 		st := cleaned[i].Stats()
-		out[i] = BatchCleanResult{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes}
+		s.metrics.graphBytes.observe(float64(st.Bytes))
+		out[i] = BatchCleanResult{ID: ids[i], Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes}
 	}
+	outcome = "ok"
+	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -318,18 +443,18 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	if len(parts) == 2 {
 		op = parts[1]
 	}
-	s.mu.Lock()
-	traj := s.trajectories[id]
-	s.mu.Unlock()
-	if traj == nil {
-		writeError(w, http.StatusNotFound, "unknown trajectory %q", id)
+	if r.Method == http.MethodDelete && op == "" {
+		if !s.store.delete(id) {
+			writeError(w, http.StatusNotFound, "unknown trajectory %q", id)
+			return
+		}
+		s.metrics.queryOps.inc("delete")
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 		return
 	}
-	if r.Method == http.MethodDelete && op == "" {
-		s.mu.Lock()
-		delete(s.trajectories, id)
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	traj := s.store.get(id)
+	if traj == nil {
+		writeError(w, http.StatusNotFound, "unknown trajectory %q", id)
 		return
 	}
 	if r.Method != http.MethodGet {
@@ -338,19 +463,43 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	}
 	switch op {
 	case "stay":
+		s.metrics.queryOps.inc("stay")
 		s.handleStay(w, r, traj)
 	case "match":
+		s.metrics.queryOps.inc("match")
 		s.handleMatch(w, r, traj)
 	case "top":
+		s.metrics.queryOps.inc("top")
 		s.handleTop(w, r, traj)
 	case "occupancy":
+		s.metrics.queryOps.inc("occupancy")
 		s.handleOccupancy(w, traj)
 	case "":
+		s.metrics.queryOps.inc("stats")
 		st := traj.cleaned.Stats()
 		writeJSON(w, http.StatusOK, CleanResponse{ID: traj.id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes})
 	default:
 		writeError(w, http.StatusNotFound, "unknown operation %q", op)
 	}
+}
+
+// handleHealthz reports liveness plus store occupancy, cheap enough for a
+// load balancer to poll.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.mu.RLock()
+	deps := len(s.deployments)
+	s.mu.RUnlock()
+	count, bytes := s.store.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"deployments":  deps,
+		"trajectories": count,
+		"storeBytes":   bytes,
+	})
 }
 
 // LocationProb is one entry of a distribution, labeled with the location

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	rfidclean "repro"
@@ -14,7 +16,7 @@ import (
 
 // testDeployment returns a small serialized deployment and the System it
 // describes (for generating readings).
-func testDeployment(t *testing.T) ([]byte, *rfidclean.System) {
+func testDeployment(t testing.TB) ([]byte, *rfidclean.System) {
 	t.Helper()
 	b := rfidclean.NewMapBuilder()
 	cor := b.AddLocation("corridor", rfidclean.Corridor, 0, rfidclean.RectWH(0, 0, 12, 3))
@@ -462,5 +464,305 @@ func TestServerInconsistentReadings(t *testing.T) {
 	})
 	if cresp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("inconsistent clean status = %d, want 422", cresp.StatusCode)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	base, depID, _, readings := harness(t)
+	var health map[string]any
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if health["status"] != "ok" || health["deployments"].(float64) != 1 {
+		t.Fatalf("healthz = %v", health)
+	}
+	if resp, _ := postClean(t, base, CleanRequest{Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("clean status = %d", resp.StatusCode)
+	}
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if health["trajectories"].(float64) != 1 || health["storeBytes"].(float64) <= 0 {
+		t.Fatalf("healthz after clean = %v", health)
+	}
+}
+
+func TestServerBodyLimit(t *testing.T) {
+	depJSON, sys := testDeployment(t)
+	ts := httptest.NewServer(NewWithOptions(Options{MaxBodyBytes: 512}))
+	t.Cleanup(ts.Close)
+
+	// The deployment itself exceeds 512 bytes: registering it trips the cap.
+	resp, err := http.Post(ts.URL+"/v1/deployments", "application/json", bytes.NewReader(depJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized deployment status = %d, want 413", resp.StatusCode)
+	}
+	if apiErr.Error == "" {
+		t.Error("413 response missing uniform apiError body")
+	}
+
+	// Oversized clean bodies get the same treatment.
+	rng := rfidclean.NewRNG(4)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(400), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := json.Marshal(CleanRequest{
+		Deployment: "d1",
+		Readings:   rfidclean.GenerateReadings(truth, sys.Truth, rng),
+		MaxSpeed:   2, MinStay: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) <= 512 {
+		t.Fatalf("test body only %d bytes; grow the trajectory", len(big))
+	}
+	resp, err = http.Post(ts.URL+"/v1/clean", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized clean status = %d, want 413", resp.StatusCode)
+	}
+
+	// The rejections are visible on /metrics.
+	m := scrape(t, ts.URL)
+	if !strings.Contains(m, "rfidclean_body_rejections_total 2") {
+		t.Errorf("metrics missing body rejections:\n%s", m)
+	}
+}
+
+// TestServerBatchIDsDoNotInterleave: all of a batch's trajectory ids are
+// allocated in one critical section, so they are consecutive even when
+// single cleans run concurrently.
+func TestServerBatchIDsDoNotInterleave(t *testing.T) {
+	base, depID, sys, readings := harness(t)
+	rng := rfidclean.NewRNG(13)
+	seqs := make([]rfidclean.ReadingSequence, 6)
+	for i := range seqs {
+		truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(40), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = rfidclean.GenerateReadings(truth, sys.Truth, rng)
+	}
+	body, err := json.Marshal(BatchCleanRequest{Deployment: depID, Sequences: seqs, MaxSpeed: 2, MinStay: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer single cleans while the batch runs.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					postClean(t, base, CleanRequest{Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5})
+				}
+			}
+		}()
+	}
+	resp, err := http.Post(base+"/v1/clean/batch", "application/json", bytes.NewReader(body))
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	var out []BatchCleanResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for i, res := range out {
+		if res.Error != "" {
+			t.Fatalf("slot %d failed: %s", i, res.Error)
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(res.ID, "t"))
+		if err != nil {
+			t.Fatalf("slot %d id %q", i, res.ID)
+		}
+		if prev != -1 && n != prev+1 {
+			t.Fatalf("batch ids interleaved with concurrent cleans: %v", out)
+		}
+		prev = n
+	}
+}
+
+// TestServerConcurrentAccess exercises every mutating and read-only path at
+// once; run under -race it is the locking-discipline check for the RWMutex
+// deployment table and the trajectory store.
+func TestServerConcurrentAccess(t *testing.T) {
+	base, depID, sys, readings := harness(t)
+
+	// Seed a trajectory that the query goroutines can always hit.
+	resp, seeded := postClean(t, base, CleanRequest{Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed clean status = %d", resp.StatusCode)
+	}
+
+	rng := rfidclean.NewRNG(31)
+	seqs := make([]rfidclean.ReadingSequence, 4)
+	for i := range seqs {
+		truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(40), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = rfidclean.GenerateReadings(truth, sys.Truth, rng)
+	}
+	batchBody, err := json.Marshal(BatchCleanRequest{Deployment: depID, Sequences: seqs, MaxSpeed: 2, MinStay: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		// Single cleans (cache hits after the first inference).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				r, _ := postClean(t, base, CleanRequest{Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5})
+				if r.StatusCode != http.StatusCreated {
+					t.Errorf("concurrent clean status = %d", r.StatusCode)
+				}
+			}
+		}()
+		// Read-only queries against the seeded trajectory.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for _, path := range []string{
+					fmt.Sprintf("/v1/trajectories/%s/stay?t=12", seeded.ID),
+					fmt.Sprintf("/v1/trajectories/%s/occupancy", seeded.ID),
+					fmt.Sprintf("/v1/trajectories/%s/top?k=2", seeded.ID),
+					fmt.Sprintf("/v1/trajectories/%s", seeded.ID),
+					"/v1/deployments",
+					"/healthz",
+					"/metrics",
+				} {
+					r, err := http.Get(base + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					r.Body.Close()
+					if r.StatusCode != http.StatusOK {
+						t.Errorf("GET %s = %d", path, r.StatusCode)
+					}
+				}
+			}
+		}()
+	}
+	// Batch cleans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			r, err := http.Post(base+"/v1/clean/batch", "application/json", bytes.NewReader(batchBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				t.Errorf("concurrent batch status = %d", r.StatusCode)
+			}
+		}
+	}()
+	// Create-then-delete churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			r, created := postClean(t, base, CleanRequest{Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5})
+			if r.StatusCode != http.StatusCreated {
+				t.Errorf("churn clean status = %d", r.StatusCode)
+				return
+			}
+			req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/trajectories/%s", base, created.ID), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dr, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dr.Body.Close()
+			if dr.StatusCode != http.StatusOK {
+				t.Errorf("churn delete status = %d", dr.StatusCode)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// With one deployment and fixed parameters, inference ran exactly once
+	// across every goroutine above.
+	if !strings.Contains(scrape(t, base), "rfidclean_constraint_cache_misses_total 1") {
+		t.Error("constraint inference ran more than once under concurrency")
+	}
+}
+
+// BenchmarkServerCleanCached measures the repeated-clean steady state: every
+// iteration after the first hits the constraint cache, so the cost is the
+// prior + Algorithm 1, not DU/LT/TT inference.
+func BenchmarkServerCleanCached(b *testing.B) {
+	depJSON, sys := testDeployment(b)
+	ts := httptest.NewServer(New())
+	b.Cleanup(ts.Close)
+	resp, err := http.Post(ts.URL+"/v1/deployments", "application/json", bytes.NewReader(depJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	rng := rfidclean.NewRNG(77)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(90), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(CleanRequest{
+		Deployment: created["id"],
+		Readings:   rfidclean.GenerateReadings(truth, sys.Truth, rng),
+		MaxSpeed:   2, MinStay: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := http.Post(ts.URL+"/v1/clean", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusCreated {
+			b.Fatalf("clean status = %d", r.StatusCode)
+		}
 	}
 }

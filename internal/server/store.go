@@ -1,0 +1,145 @@
+package server
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	rfidclean "repro"
+)
+
+// trajStore holds the cleaned trajectory graphs the query head serves. It is
+// the one piece of mutable shared state on the hot path, so it gets its own
+// RWMutex: GET queries take only read locks and run concurrently, while
+// writes (store, delete, eviction) serialize.
+//
+// The store enforces an optional byte budget using each graph's estimated
+// footprint (Cleaned.Stats().Bytes). Past the budget, the least-recently-
+// queried graphs are evicted — the warehousing trade: a re-clean can always
+// regenerate an evicted graph, but memory cannot grow without bound under
+// heavy traffic. Recency is stamped with a lock-free logical clock so reads
+// never upgrade to write locks.
+type trajStore struct {
+	maxBytes int64 // <= 0 means unlimited
+	m        *metrics
+
+	clock atomic.Int64 // logical access clock for LRU stamps
+
+	mu    sync.RWMutex
+	items map[string]*storeItem
+	bytes int64
+	next  int
+}
+
+type storeItem struct {
+	traj     *trajectory
+	bytes    int64
+	lastUsed atomic.Int64
+}
+
+func newTrajStore(maxBytes int64, m *metrics) *trajStore {
+	return &trajStore{maxBytes: maxBytes, m: m, items: make(map[string]*storeItem)}
+}
+
+// add stores one cleaned graph and returns its id.
+func (st *trajStore) add(depID string, c *rfidclean.Cleaned) string {
+	return st.addBatch(depID, []*rfidclean.Cleaned{c})[0]
+}
+
+// addBatch stores every non-nil graph under a single critical section, so a
+// batch's ids are consecutive and can never interleave with a concurrent
+// single clean's. ids is positional; nil slots get "".
+func (st *trajStore) addBatch(depID string, cs []*rfidclean.Cleaned) []string {
+	ids := make([]string, len(cs))
+	fresh := make(map[string]bool, len(cs))
+	st.mu.Lock()
+	for i, c := range cs {
+		if c == nil {
+			continue
+		}
+		st.next++
+		id := "t" + strconv.Itoa(st.next)
+		it := &storeItem{
+			traj:  &trajectory{id: id, depID: depID, cleaned: c},
+			bytes: int64(c.Stats().Bytes),
+		}
+		it.lastUsed.Store(st.clock.Add(1))
+		st.items[id] = it
+		st.bytes += it.bytes
+		ids[i] = id
+		fresh[id] = true
+	}
+	st.evictLocked(fresh)
+	count, bytes := len(st.items), st.bytes
+	st.mu.Unlock()
+	st.m.storeCount.set(int64(count))
+	st.m.storeBytes.set(bytes)
+	return ids
+}
+
+// evictLocked drops least-recently-used items until the store fits its
+// budget. Items stored by the current call are exempt, so a large batch is
+// admitted whole (possibly overshooting the budget until the next add)
+// rather than evicting itself.
+func (st *trajStore) evictLocked(fresh map[string]bool) {
+	if st.maxBytes <= 0 {
+		return
+	}
+	for st.bytes > st.maxBytes {
+		var victimID string
+		var victim *storeItem
+		oldest := int64(math.MaxInt64)
+		for id, it := range st.items {
+			if fresh[id] {
+				continue
+			}
+			if u := it.lastUsed.Load(); u < oldest {
+				oldest, victimID, victim = u, id, it
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(st.items, victimID)
+		st.bytes -= victim.bytes
+		st.m.storeEvictions.inc()
+	}
+}
+
+// get returns the trajectory with the given id, or nil. It touches the LRU
+// stamp without taking the write lock.
+func (st *trajStore) get(id string) *trajectory {
+	st.mu.RLock()
+	it := st.items[id]
+	st.mu.RUnlock()
+	if it == nil {
+		return nil
+	}
+	it.lastUsed.Store(st.clock.Add(1))
+	return it.traj
+}
+
+// delete removes a trajectory, reporting whether it existed.
+func (st *trajStore) delete(id string) bool {
+	st.mu.Lock()
+	it := st.items[id]
+	if it != nil {
+		delete(st.items, id)
+		st.bytes -= it.bytes
+	}
+	count, bytes := len(st.items), st.bytes
+	st.mu.Unlock()
+	if it != nil {
+		st.m.storeCount.set(int64(count))
+		st.m.storeBytes.set(bytes)
+	}
+	return it != nil
+}
+
+// stats reports the current item count and estimated bytes.
+func (st *trajStore) stats() (count int, bytes int64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.items), st.bytes
+}

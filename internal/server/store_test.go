@@ -1,0 +1,124 @@
+package server
+
+import (
+	"testing"
+
+	rfidclean "repro"
+)
+
+// testCleaneds cleans the same short sequence n times against the small test
+// deployment, yielding n distinct graphs of identical (known) size.
+func testCleaneds(t *testing.T, n int) []*rfidclean.Cleaned {
+	t.Helper()
+	_, sys := testDeployment(t)
+	rng := rfidclean.NewRNG(21)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := rfidclean.GenerateReadings(truth, sys.Truth, rng)
+	ic, err := sys.InferConstraints(2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*rfidclean.Cleaned, n)
+	for i := range out {
+		c, err := sys.Clean(readings, ic, &rfidclean.BuildOptions{EndLatency: rfidclean.LenientEnd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func TestTrajStoreLRUEviction(t *testing.T) {
+	cs := testCleaneds(t, 4)
+	one := int64(cs[0].Stats().Bytes)
+	if one == 0 {
+		t.Fatal("empty graph")
+	}
+	m := newMetrics()
+	// Budget for two graphs, not three.
+	st := newTrajStore(2*one+one/2, m)
+
+	idA := st.add("d1", cs[0])
+	idB := st.add("d1", cs[1])
+	if st.get(idA) == nil || st.get(idB) == nil {
+		t.Fatal("stored graphs not retrievable")
+	}
+	// Touch A so B is the LRU victim.
+	st.get(idA)
+	idC := st.add("d1", cs[2])
+	if st.get(idB) != nil {
+		t.Error("LRU graph survived eviction")
+	}
+	if st.get(idA) == nil || st.get(idC) == nil {
+		t.Error("recently used / fresh graphs were evicted")
+	}
+	if m.storeEvictions.value() != 1 {
+		t.Errorf("evictions = %d, want 1", m.storeEvictions.value())
+	}
+	count, bytes := st.stats()
+	if count != 2 || bytes != 2*one {
+		t.Errorf("stats = (%d, %d), want (2, %d)", count, bytes, 2*one)
+	}
+	if m.storeCount.value() != 2 || m.storeBytes.value() != 2*one {
+		t.Errorf("gauges = (%d, %d), want (2, %d)", m.storeCount.value(), m.storeBytes.value(), 2*one)
+	}
+}
+
+func TestTrajStoreBatchIDsConsecutive(t *testing.T) {
+	cs := testCleaneds(t, 3)
+	st := newTrajStore(0, newMetrics())
+	ids := st.addBatch("d1", []*rfidclean.Cleaned{cs[0], nil, cs[1], cs[2]})
+	want := []string{"t1", "", "t2", "t3"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if st.get("t2").depID != "d1" {
+		t.Error("stored trajectory lost its deployment")
+	}
+}
+
+func TestTrajStoreFreshBatchNotSelfEvicting(t *testing.T) {
+	cs := testCleaneds(t, 3)
+	one := int64(cs[0].Stats().Bytes)
+	m := newMetrics()
+	st := newTrajStore(one, m) // budget for a single graph
+	ids := st.addBatch("d1", cs)
+	for i, id := range ids {
+		if st.get(id) == nil {
+			t.Fatalf("fresh batch slot %d evicted by its own admission", i)
+		}
+	}
+	// The next add sheds the overshoot down to the budget.
+	idNew := st.add("d1", testCleaneds(t, 1)[0])
+	if st.get(idNew) == nil {
+		t.Fatal("fresh single add evicted")
+	}
+	if _, bytes := st.stats(); bytes > one {
+		t.Errorf("store bytes = %d, want <= %d after re-eviction", bytes, one)
+	}
+}
+
+func TestTrajStoreDelete(t *testing.T) {
+	cs := testCleaneds(t, 1)
+	m := newMetrics()
+	st := newTrajStore(0, m)
+	id := st.add("d1", cs[0])
+	if !st.delete(id) {
+		t.Fatal("delete of existing trajectory failed")
+	}
+	if st.delete(id) {
+		t.Fatal("double delete reported success")
+	}
+	if count, bytes := st.stats(); count != 0 || bytes != 0 {
+		t.Errorf("stats after delete = (%d, %d)", count, bytes)
+	}
+	if m.storeBytes.value() != 0 || m.storeCount.value() != 0 {
+		t.Errorf("gauges after delete = (%d, %d)", m.storeCount.value(), m.storeBytes.value())
+	}
+}

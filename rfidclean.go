@@ -301,6 +301,25 @@ func (s *System) CalibratePrior(samples int, rng *RNG) {
 // the paper's defaults).
 func (s *System) SetPrior(p *Prior) { s.Prior = p }
 
+// ConstraintParams identifies one DU+LT+TT constraint derivation over a
+// deployment's map. It is a comparable value type, so serving layers can use
+// it directly as a map key when memoizing inferred constraint sets.
+type ConstraintParams struct {
+	// MaxSpeed (m/s) drives TT inference; must be > 0.
+	MaxSpeed float64
+	// MinStay (time points) drives LT inference on non-corridor locations.
+	MinStay int
+	// TTCap truncates TT horizons (0 = uncapped).
+	TTCap int
+}
+
+// Constraints derives the constraint set identified by p. It is
+// InferConstraints with the parameters gathered into a cacheable key; the
+// returned set is read-only after inference and safe for concurrent use.
+func (s *System) Constraints(p ConstraintParams) (*ConstraintSet, error) {
+	return s.InferConstraints(p.MaxSpeed, p.MinStay, p.TTCap)
+}
+
 // InferConstraints derives the full DU+LT+TT constraint set from the map:
 // maxSpeed (m/s) drives the TT horizons, minStay (time points) the latency
 // constraints on non-corridor locations, and ttCap optionally truncates TT
