@@ -1,0 +1,183 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline and fails when a benchmark regresses past a threshold. It is the
+// CI bench-regression guard:
+//
+//	go test -run '^$' -bench '...' -benchtime=5x ./... > fresh.txt
+//	benchdiff -baseline BENCH_BASELINE.json -bench fresh.txt
+//
+// exits 1 if any baseline benchmark is missing from the fresh run or is more
+// than -threshold slower (default 0.30, i.e. +30% ns/op). Shared-runner
+// noise is real, so the threshold is deliberately loose: the guard exists to
+// catch order-of-magnitude accidents (a dropped cache, an accidental
+// quadratic loop), not single-digit drift.
+//
+// To (re)generate the baseline from a bench run:
+//
+//	benchdiff -write -baseline BENCH_BASELINE.json -bench fresh.txt
+//
+// When several samples of the same benchmark appear (e.g. -count=3), the
+// minimum is used — the least noisy estimate of the true cost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// baseline is the committed JSON document. NsPerOp is keyed by the benchmark
+// name with the GOMAXPROCS suffix stripped (e.g. "BenchmarkBuild").
+type baseline struct {
+	// Note documents provenance for humans reading the committed file.
+	Note    string             `json:"note,omitempty"`
+	GoOS    string             `json:"goos,omitempty"`
+	GoArch  string             `json:"goarch,omitempty"`
+	NsPerOp map[string]float64 `json:"nsPerOp"`
+}
+
+// benchLine matches one result line of `go test -bench` output, capturing the
+// name (sans -N processor suffix) and the ns/op figure.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:[eE][+-]?\d+)?) ns/op`)
+
+// parseBench extracts ns/op per benchmark from bench output, keeping the
+// minimum across repeated samples.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	start := 0
+	for i := 0; i <= len(data); i++ {
+		if i != len(data) && data[i] != '\n' {
+			continue
+		}
+		line := string(data[start:i])
+		start = i + 1
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", line, err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, nil
+}
+
+// compare reports each baseline benchmark's fresh/base ratio, returning the
+// names that regressed past the threshold or went missing. Output is sorted
+// for stable CI logs.
+func compare(w io.Writer, base, fresh map[string]float64, threshold float64) (bad []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %-40s baseline %.0f ns/op, absent from fresh run\n", name, b)
+			bad = append(bad, name)
+			continue
+		}
+		delta := f/b - 1
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			bad = append(bad, name)
+		}
+		fmt.Fprintf(w, "%-9s%-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n", verdict, name, b, f, delta*100)
+	}
+	// New benchmarks are informational: they only guard once baselined.
+	extra := make([]string, 0)
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "new      %-40s %12.0f ns/op (not in baseline; re-run with -write to track)\n", name, fresh[name])
+	}
+	return bad
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	baselinePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
+	benchPath := fs.String("bench", "-", "fresh `go test -bench` output ('-' = stdin)")
+	write := fs.Bool("write", false, "write the baseline from the bench output instead of comparing")
+	threshold := fs.Float64("threshold", 0.30, "max allowed fractional slowdown per benchmark")
+	note := fs.String("note", "", "provenance note stored with -write")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	fresh, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("benchdiff: no benchmark results in input")
+	}
+
+	if *write {
+		doc := baseline{Note: *note, GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NsPerOp: fresh}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(fresh), *baselinePath)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var doc baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("benchdiff: %s: %v", *baselinePath, err)
+	}
+	if len(doc.NsPerOp) == 0 {
+		return fmt.Errorf("benchdiff: %s holds no benchmarks", *baselinePath)
+	}
+	if bad := compare(stdout, doc.NsPerOp, fresh, *threshold); len(bad) > 0 {
+		return fmt.Errorf("benchdiff: %d benchmark(s) regressed past %.0f%% or went missing: %v",
+			len(bad), *threshold*100, bad)
+	}
+	fmt.Fprintf(stdout, "all %d baselined benchmarks within %.0f%%\n", len(doc.NsPerOp), *threshold*100)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkBuild-8             	     100	    120000 ns/op	   43210 B/op	     321 allocs/op
+BenchmarkBuild-8             	     100	    110000 ns/op
+BenchmarkTopK-8              	    5000	      2500.5 ns/op
+BenchmarkFilterObserve       	   20000	       800 ns/op
+PASS
+ok  	repro/internal/core	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkBuild":         110000, // min across the two samples
+		"BenchmarkTopK":          2500.5,
+		"BenchmarkFilterObserve": 800, // no -N suffix is fine too
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkBuild": 100000,
+		"BenchmarkTopK":  1000,
+		"BenchmarkGone":  500,
+	}
+	fresh := map[string]float64{
+		"BenchmarkBuild": 125000, // +25%: inside a 30% threshold
+		"BenchmarkTopK":  1400,   // +40%: regression
+		"BenchmarkNew":   77,     // unbaselined: informational
+	}
+	var out bytes.Buffer
+	bad := compare(&out, base, fresh, 0.30)
+	if len(bad) != 2 || bad[0] != "BenchmarkGone" || bad[1] != "BenchmarkTopK" {
+		t.Fatalf("bad = %v, want [BenchmarkGone BenchmarkTopK]", bad)
+	}
+	for _, needle := range []string{"REGRESSED", "MISSING", "BenchmarkNew"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Errorf("report missing %q:\n%s", needle, out.String())
+		}
+	}
+
+	// Tightening the threshold flips the +25% into a failure.
+	if bad := compare(&bytes.Buffer{}, base, fresh, 0.20); len(bad) != 3 {
+		t.Errorf("threshold 0.20: bad = %v, want 3 entries", bad)
+	}
+}
+
+// TestRunRoundTrip drives the CLI end to end: write a baseline from bench
+// output, compare an identical run (pass), then a degraded run (fail).
+func TestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := filepath.Join(dir, "baseline.json")
+
+	var out bytes.Buffer
+	err := run([]string{"-write", "-baseline", baselinePath, "-note", "unit test"},
+		strings.NewReader(sampleBench), &out)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	out.Reset()
+	err = run([]string{"-baseline", baselinePath}, strings.NewReader(sampleBench), &out)
+	if err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+
+	slower := strings.ReplaceAll(sampleBench, "2500.5 ns/op", "9500.5 ns/op")
+	out.Reset()
+	err = run([]string{"-baseline", baselinePath}, strings.NewReader(slower), &out)
+	if err == nil {
+		t.Fatalf("3.8x slower TopK passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkTopK") {
+		t.Errorf("error %q does not name the regressed benchmark", err)
+	}
+
+	// A bench run that silently drops a benchmark must fail too.
+	dropped := strings.ReplaceAll(sampleBench, "BenchmarkTopK", "BenchmarkRenamed")
+	if err := run([]string{"-baseline", baselinePath}, strings.NewReader(dropped), &bytes.Buffer{}); err == nil {
+		t.Error("missing benchmark passed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-baseline", "/nonexistent/baseline.json"},
+		strings.NewReader(sampleBench), &bytes.Buffer{}); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
+		t.Error("empty bench input accepted")
+	}
+	// os.Open error on -bench path.
+	if err := run([]string{"-bench", "/nonexistent/fresh.txt"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing bench file accepted")
+	}
+}
+
+// TestWriteProducesStableJSON: the committed baseline should be readable and
+// carry provenance fields.
+func TestWriteProducesStableJSON(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "b.json")
+	if err := run([]string{"-write", "-baseline", p, "-note", "n1"},
+		strings.NewReader(sampleBench), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{`"note": "n1"`, `"nsPerOp"`, `"BenchmarkBuild"`} {
+		if !strings.Contains(string(data), needle) {
+			t.Errorf("baseline JSON missing %q:\n%s", needle, data)
+		}
+	}
+}

@@ -16,12 +16,24 @@
 //	curl ':8080/healthz'
 //	curl ':8080/metrics'
 //
+// Streaming ingestion sessions (live tracking) ride the same server:
+//
+//	curl -X POST :8080/v1/stream -d '{"deployment":"d1","maxSpeed":2,"minStay":5}'
+//	curl -X POST :8080/v1/stream/s1/readings -d '{"readings":[{"time":0,"readers":[3]}]}'
+//	curl ':8080/v1/stream/s1?top=3'
+//	curl -X POST :8080/v1/stream/s1/smooth
+//	curl -X DELETE :8080/v1/stream/s1
+//
 // With -demo, the server starts preloaded with the SYN1 deployment so the
 // API can be exercised immediately. -max-body caps POST body sizes,
 // -max-store-bytes puts the trajectory store under an LRU byte budget, and
-// -pprof mounts net/http/pprof under /debug/pprof/. On SIGINT/SIGTERM the
-// server stops accepting connections and drains in-flight requests for up
-// to -drain-timeout before exiting.
+// -pprof mounts net/http/pprof under /debug/pprof/. -max-sessions caps open
+// streaming sessions (least-recently-active eviction past it),
+// -session-ttl bounds how long an idle session lives, and
+// -max-session-readings caps each session's smoothing buffer. On
+// SIGINT/SIGTERM the server stops accepting connections, drains in-flight
+// requests for up to -drain-timeout, then stops the session reaper before
+// exiting.
 package main
 
 import (
@@ -48,13 +60,16 @@ import (
 // config carries the daemon's settings; main fills it from flags, tests fill
 // it directly.
 type config struct {
-	addr          string
-	demo          bool
-	workers       int
-	maxBody       int64
-	maxStoreBytes int64
-	pprof         bool
-	drain         time.Duration
+	addr               string
+	demo               bool
+	workers            int
+	maxBody            int64
+	maxStoreBytes      int64
+	maxSessions        int
+	sessionTTL         time.Duration
+	maxSessionReadings int
+	pprof              bool
+	drain              time.Duration
 
 	ready chan<- net.Addr // if non-nil, receives the bound listen address
 }
@@ -69,6 +84,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "batch-clean concurrency (0 = GOMAXPROCS)")
 	flag.Int64Var(&cfg.maxBody, "max-body", server.DefaultMaxBodyBytes, "max POST body bytes (<= 0 disables the cap)")
 	flag.Int64Var(&cfg.maxStoreBytes, "max-store-bytes", 0, "trajectory-store byte budget with LRU eviction (0 = unlimited)")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", server.DefaultMaxSessions, "max open streaming sessions; past it the least-recently-active session is evicted (<= 0 removes the cap)")
+	flag.DurationVar(&cfg.sessionTTL, "session-ttl", server.DefaultSessionTTL, "idle streaming sessions are reaped after this long (<= 0 disables reaping)")
+	flag.IntVar(&cfg.maxSessionReadings, "max-session-readings", server.DefaultMaxSessionReadings, "max readings a streaming session buffers for smoothing (<= 0 removes the cap)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.DurationVar(&cfg.drain, "drain-timeout", 10*time.Second, "how long to drain in-flight requests on shutdown")
 	flag.Parse()
@@ -88,11 +106,29 @@ func run(ctx context.Context, cfg config) error {
 	if maxBody <= 0 {
 		maxBody = -1 // Options treats 0 as "default"; negative disables
 	}
+	// The same normalization applies to the session knobs: a non-positive
+	// flag means "no cap / no reaping", which Options spells negative.
+	maxSessions := cfg.maxSessions
+	if maxSessions <= 0 {
+		maxSessions = -1
+	}
+	sessionTTL := cfg.sessionTTL
+	if sessionTTL <= 0 {
+		sessionTTL = -1
+	}
+	maxSessionReadings := cfg.maxSessionReadings
+	if maxSessionReadings <= 0 {
+		maxSessionReadings = -1
+	}
 	srv := server.NewWithOptions(server.Options{
-		Workers:       cfg.workers,
-		MaxBodyBytes:  maxBody,
-		MaxStoreBytes: cfg.maxStoreBytes,
+		Workers:            cfg.workers,
+		MaxBodyBytes:       maxBody,
+		MaxStoreBytes:      cfg.maxStoreBytes,
+		MaxSessions:        maxSessions,
+		SessionTTL:         sessionTTL,
+		MaxSessionReadings: maxSessionReadings,
 	})
+	defer srv.Close() // stop the session reaper once we stop serving
 	if cfg.demo {
 		if err := preloadSYN1(srv); err != nil {
 			return err

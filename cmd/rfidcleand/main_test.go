@@ -184,6 +184,71 @@ func TestRunGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestRunShutdownWithStreamSession: the daemon shuts down cleanly while a
+// streaming session (and therefore the idle reaper goroutine) is live — the
+// deferred server.Close must drain the reaper, not hang or leak it.
+func TestRunShutdownWithStreamSession(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, config{
+			addr:       "127.0.0.1:0",
+			drain:      5 * time.Second,
+			sessionTTL: time.Minute,
+			ready:      ready,
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	}
+
+	dep, _ := smallDeployment(t)
+	var buf bytes.Buffer
+	if err := dep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/deployments", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	open, err := json.Marshal(server.StreamOpenRequest{
+		Deployment: created["id"], MaxSpeed: 2, MinStay: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/stream", "application/json", bytes.NewReader(open))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("stream open status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return with a live session reaper")
+	}
+}
+
 // TestRunListenError: an unusable address surfaces as an error, not a hang.
 func TestRunListenError(t *testing.T) {
 	err := run(context.Background(), config{addr: "127.0.0.1:-1", drain: time.Second})

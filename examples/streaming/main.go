@@ -9,13 +9,24 @@
 // offline (smoothed) ct-graph answer: at the last timestamp the two
 // coincide; at earlier timestamps smoothing can use the future and is
 // therefore at least as sharp.
+//
+// The second half replays the same workflow over the wire: it boots the
+// query head in-process and drives a streaming ingestion session through the
+// HTTP API — open, append readings as they arrive, poll the filtered
+// distribution, and close with a final smoothing pass that leaves a
+// queryable ct-graph behind.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 
 	rfidclean "repro"
+	"repro/internal/server"
 )
 
 func main() {
@@ -122,4 +133,97 @@ func main() {
 		}
 	}
 	fmt.Printf("max |filtered - smoothed| at the final timestamp: %.2g\n", maxDiff)
+
+	// --- The same workflow over HTTP: streaming ingestion sessions. ---
+	ts := httptest.NewServer(server.New())
+	defer ts.Close()
+
+	dep := &rfidclean.Deployment{
+		Name: "streaming-demo", Plan: plan, Readers: readers,
+		Detection: rfidclean.DefaultThreeState(), CellSize: 0.5,
+		CalibrationSamples: 30, Seed: 3,
+	}
+	var buf bytes.Buffer
+	if err := dep.Encode(&buf); err != nil {
+		log.Fatal(err)
+	}
+	depID := postJSON(ts.URL+"/v1/deployments", buf.Bytes())["id"].(string)
+
+	open, _ := json.Marshal(server.StreamOpenRequest{Deployment: depID, MaxSpeed: 2, MinStay: 5})
+	sid := postJSON(ts.URL+"/v1/stream", open)["id"].(string)
+	fmt.Printf("\nHTTP session %s on deployment %s:\n", sid, depID)
+
+	// Feed the readings in small batches, as a live gateway would, and poll
+	// the filtered estimate along the way.
+	for i := 0; i < len(readings); i += 24 {
+		end := i + 24
+		if end > len(readings) {
+			end = len(readings)
+		}
+		body, _ := json.Marshal(server.StreamReadingsRequest{Readings: readings[i:end]})
+		postJSON(ts.URL+"/v1/stream/"+sid+"/readings", body)
+
+		resp, err := http.Get(ts.URL + "/v1/stream/" + sid + "?top=1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st server.StreamStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Time%72 == 71 {
+			fmt.Printf("  t=%3d  GET ?top=1 -> %-9s (p=%.2f, frontier %d)\n",
+				st.Time, st.Current[0].Location, st.Current[0].P, st.Frontier)
+		}
+	}
+
+	// Close the session; by default the server re-cleans the buffered
+	// sequence offline and stores the smoothed ct-graph.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stream/"+sid, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var closed server.StreamCloseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&closed); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("closed %s; smoothed trajectory %s (%d nodes) is now queryable:\n",
+		closed.Closed, closed.Trajectory.ID, closed.Trajectory.Nodes)
+
+	// The stored trajectory answers the usual warehouse queries.
+	qresp, err := http.Get(fmt.Sprintf("%s/v1/trajectories/%s/stay?t=%d", ts.URL, closed.Trajectory.ID, duration-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stay []server.LocationProb
+	if err := json.NewDecoder(qresp.Body).Decode(&stay); err != nil {
+		log.Fatal(err)
+	}
+	qresp.Body.Close()
+	fmt.Printf("  stay?t=%d -> %s (p=%.2f), matching the live filter above\n",
+		duration-1, stay[0].Location, stay[0].P)
+}
+
+// postJSON posts a JSON body and decodes the JSON object that comes back,
+// failing the example on any non-2xx answer.
+func postJSON(url string, body []byte) map[string]any {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %d: %v", url, resp.StatusCode, out)
+	}
+	return out
 }

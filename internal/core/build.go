@@ -364,7 +364,7 @@ func (b *builder) carve(n int) []*Edge {
 		}
 		b.ptrs = make([]*Edge, 0, size)
 	}
-	s := b.ptrs[len(b.ptrs):len(b.ptrs):len(b.ptrs)+n]
+	s := b.ptrs[len(b.ptrs) : len(b.ptrs) : len(b.ptrs)+n]
 	b.ptrs = b.ptrs[:len(b.ptrs)+n]
 	return s
 }

@@ -37,6 +37,11 @@ type Filter struct {
 	b    builder
 	beam int
 
+	// internCap bounds the TL interner (filterInternCap by default); tests
+	// lower it to exercise the rebuild path cheaply.
+	internCap int
+	rebuilds  int
+
 	time     int
 	frontier []*filterEntry
 }
@@ -59,12 +64,19 @@ func NewFilter(ic *constraints.Set, opts *FilterOptions) *Filter {
 	if ic == nil {
 		ic = constraints.NewSet()
 	}
-	f := &Filter{ic: ic, b: newBuilder(ic), time: -1}
+	f := &Filter{ic: ic, b: newBuilder(ic), internCap: filterInternCap, time: -1}
 	if opts != nil && opts.Beam > 0 {
 		f.beam = opts.Beam
 	}
 	return f
 }
+
+// Beam returns the configured beam width (0 = exact filtering).
+func (f *Filter) Beam() int { return f.beam }
+
+// InternerRebuilds returns how many times the TL interner has been discarded
+// and rebuilt to bound memory on a long stream.
+func (f *Filter) InternerRebuilds() int { return f.rebuilds }
 
 // Time returns the timestamp of the last observation (-1 before the first).
 func (f *Filter) Time() int { return f.time }
@@ -97,8 +109,9 @@ func (f *Filter) Observe(candidates []Candidate) error {
 		f.normalizeAndPrune()
 		return nil
 	}
-	if f.b.tl.size() > filterInternCap {
+	if f.b.tl.size() > f.internCap {
 		f.b.tl = newTLInterner()
+		f.rebuilds++
 	}
 
 	next := make(map[nodeKey]*filterEntry, len(f.frontier))
@@ -166,21 +179,64 @@ func (f *Filter) Current(numLocations int) ([]float64, error) {
 	return dist, nil
 }
 
-// MostLikely returns the most probable current location and its filtered
-// probability.
-func (f *Filter) MostLikely() (loc int, p float64, err error) {
+// LocProb is one (location ID, probability) entry of a filtered
+// distribution.
+type LocProb struct {
+	Loc int
+	P   float64
+}
+
+// Distribution returns the filtered distribution at the latest observed
+// timestamp aggregated by location, sorted by descending probability (ties
+// broken by ascending location ID). Unlike Current it needs no location
+// count and omits zero-probability locations — the shape a live-tracking
+// serving layer returns to clients.
+func (f *Filter) Distribution() ([]LocProb, error) {
 	if f.time < 0 {
-		return 0, 0, fmt.Errorf("core: filter has observed nothing")
+		return nil, fmt.Errorf("core: filter has observed nothing")
 	}
-	byLoc := make(map[int]float64)
+	byLoc := make(map[int]float64, len(f.frontier))
 	for _, e := range f.frontier {
 		byLoc[e.node.Loc] += e.alpha
 	}
-	loc, p = -1, -1
-	for l, lp := range byLoc {
-		if lp > p || (lp == p && l < loc) {
-			loc, p = l, lp
-		}
+	out := make([]LocProb, 0, len(byLoc))
+	for l, p := range byLoc {
+		out = append(out, LocProb{Loc: l, P: p})
 	}
-	return loc, p, nil
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Loc < out[j].Loc
+	})
+	return out, nil
+}
+
+// TopLocations returns the up-to-k most probable current locations with
+// their filtered probabilities, descending. k < 1 is an error.
+func (f *Filter) TopLocations(k int) ([]LocProb, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: top-k needs k >= 1, got %d", k)
+	}
+	dist, err := f.Distribution()
+	if err != nil {
+		return nil, err
+	}
+	if len(dist) > k {
+		dist = dist[:k]
+	}
+	return dist, nil
+}
+
+// MostLikely returns the most probable current location and its filtered
+// probability.
+func (f *Filter) MostLikely() (loc int, p float64, err error) {
+	top, err := f.TopLocations(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(top) == 0 { // dead-ended filter: empty frontier
+		return -1, -1, nil
+	}
+	return top[0].Loc, top[0].P, nil
 }

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/constraints"
+	"repro/internal/stats"
+)
+
+// longScenario returns a duration-step stream over 3 locations with LT and
+// TT constraints, so frontier nodes carry stay counters and TL entries and
+// the filter's interner accumulates timestamped state.
+func longScenario(duration int) ([][]Candidate, *constraints.Set) {
+	ic := constraints.NewSet()
+	ic.AddLT(0, 2)
+	ic.AddLT(1, 3)
+	if err := ic.AddTT(0, 2, 2); err != nil {
+		panic(err)
+	}
+	if err := ic.AddTT(2, 0, 2); err != nil {
+		panic(err)
+	}
+	steps := make([][]Candidate, duration)
+	for t := range steps {
+		switch t % 3 {
+		case 0:
+			steps[t] = []Candidate{{Loc: 0, P: 0.6}, {Loc: 1, P: 0.4}}
+		case 1:
+			steps[t] = []Candidate{{Loc: 0, P: 0.3}, {Loc: 1, P: 0.5}, {Loc: 2, P: 0.2}}
+		default:
+			steps[t] = []Candidate{{Loc: 1, P: 0.5}, {Loc: 2, P: 0.5}}
+		}
+	}
+	return steps, ic
+}
+
+// TestFilterInternerRebuild drives a filter with a tiny interner cap through
+// a long stream and checks that (a) the rebuild path actually fires and (b)
+// the filtered distribution is bit-for-bit unaffected: interned IDs are only
+// compared within one Observe call, so discarding the interner must be
+// invisible to the results.
+func TestFilterInternerRebuild(t *testing.T) {
+	const duration = 300
+	steps, ic := longScenario(duration)
+
+	small := NewFilter(ic, nil)
+	small.internCap = 4
+	control := NewFilter(ic, nil)
+
+	for step, cands := range steps {
+		if err := small.Observe(cands); err != nil {
+			t.Fatalf("step %d: small-cap filter died: %v", step, err)
+		}
+		if err := control.Observe(cands); err != nil {
+			t.Fatalf("step %d: control filter died: %v", step, err)
+		}
+		got, err := small.Current(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := control.Current(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for loc := range want {
+			if got[loc] != want[loc] {
+				t.Fatalf("step %d loc %d: small-cap %v, control %v", step, loc, got[loc], want[loc])
+			}
+		}
+	}
+	if small.InternerRebuilds() == 0 {
+		t.Fatal("interner cap 4 never triggered a rebuild over a 300-step stream")
+	}
+	if control.InternerRebuilds() != 0 {
+		t.Fatalf("control filter rebuilt %d times; default cap should not trip here",
+			control.InternerRebuilds())
+	}
+	// The rebuild must actually bound the interner.
+	if got := small.b.tl.size(); got > 4+len(steps[0])*3 {
+		t.Fatalf("interner still holds %d links after rebuilds", got)
+	}
+}
+
+// TestFilterInternerRebuildMatchesGraph: with rebuilds firing constantly,
+// the filter still equals the LenientEnd ct-graph's final-timestamp marginal.
+func TestFilterInternerRebuildMatchesGraph(t *testing.T) {
+	const duration = 60
+	steps, ic := longScenario(duration)
+	f := NewFilter(ic, nil)
+	f.internCap = 1 // rebuild before (almost) every step
+	dists := make([][]float64, duration)
+	for step, cands := range steps {
+		if err := f.Observe(cands); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		row := make([]float64, 3)
+		for _, c := range cands {
+			row[c.Loc] = c.P
+		}
+		dists[step] = row
+	}
+	if f.InternerRebuilds() < 5 {
+		t.Fatalf("expected frequent rebuilds with cap 1, got %d", f.InternerRebuilds())
+	}
+	g, err := Build(FromDistributions(dists), ic, &Options{EndLatency: constraints.LenientEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := g.Marginals(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Current(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for loc := range got {
+		if math.Abs(got[loc]-marg[duration-1][loc]) > 1e-9 {
+			t.Fatalf("loc %d: filter %v, graph %v", loc, got[loc], marg[duration-1][loc])
+		}
+	}
+}
+
+// entryKey identifies a frontier node across two filters fed identical
+// observations.
+func entryKey(e *filterEntry) string {
+	return fmt.Sprintf("%d|%d|%v", e.node.Loc, e.node.Stay, e.node.TL)
+}
+
+// TestFilterBeamTruncationKeepsTopAlphas runs an exact filter and a beamed
+// one side by side. Until the first truncation the frontiers are identical;
+// at the first step where the exact frontier exceeds the beam, the beamed
+// filter must have kept exactly the highest-probability nodes, renormalized.
+func TestFilterBeamTruncationKeepsTopAlphas(t *testing.T) {
+	const beamWidth = 3
+	rng := stats.NewRNG(4242)
+	truncationsSeen := 0
+	for trial := 0; trial < 300; trial++ {
+		ls, ic := randomScenario(rng)
+		exact := NewFilter(ic, nil)
+		beamed := NewFilter(ic, &FilterOptions{Beam: beamWidth})
+		if beamed.Beam() != beamWidth {
+			t.Fatalf("Beam() = %d, want %d", beamed.Beam(), beamWidth)
+		}
+		for step := 0; step < ls.Duration(); step++ {
+			cands := ls.Steps[step].Candidates
+			errE := exact.Observe(cands)
+			errB := beamed.Observe(cands)
+			if errE != nil {
+				// Exact died; the beamed filter (a subset) must die too.
+				if errB == nil {
+					t.Fatalf("trial %d step %d: exact dead but beam alive", trial, step)
+				}
+				break
+			}
+			if errB != nil {
+				// The beam may die where exact survives, never vice versa
+				// in some other error mode.
+				if !errors.Is(errB, ErrNoValidTrajectory) {
+					t.Fatalf("trial %d step %d: beam error %v", trial, step, errB)
+				}
+				break
+			}
+			if beamed.FrontierSize() > beamWidth {
+				t.Fatalf("trial %d step %d: beam frontier %d > %d",
+					trial, step, beamed.FrontierSize(), beamWidth)
+			}
+			total := 0.0
+			for _, e := range beamed.frontier {
+				total += e.alpha
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Fatalf("trial %d step %d: beam frontier mass %v, want 1", trial, step, total)
+			}
+			if exact.FrontierSize() <= beamWidth {
+				// No truncation yet: frontiers must agree exactly.
+				if beamed.FrontierSize() != exact.FrontierSize() {
+					t.Fatalf("trial %d step %d: no truncation expected but frontiers differ (%d vs %d)",
+						trial, step, beamed.FrontierSize(), exact.FrontierSize())
+				}
+				continue
+			}
+			// First truncation: the kept nodes must be the top-beamWidth of
+			// the exact frontier by probability mass, renormalized.
+			truncationsSeen++
+			ex := append([]*filterEntry(nil), exact.frontier...)
+			sort.Slice(ex, func(i, j int) bool { return ex[i].alpha > ex[j].alpha })
+			cut := ex[beamWidth-1].alpha
+			topMass := 0.0
+			top := make(map[string]float64, beamWidth)
+			for _, e := range ex[:beamWidth] {
+				top[entryKey(e)] = e.alpha
+				topMass += e.alpha
+			}
+			for _, e := range beamed.frontier {
+				want, ok := top[entryKey(e)]
+				if !ok {
+					// Ties at the cut line make the chosen set ambiguous;
+					// accept any node with the cut probability.
+					if idx := sort.Search(len(ex), func(i int) bool { return ex[i].alpha <= cut }); idx < len(ex) && math.Abs(ex[idx].alpha-cut) < 1e-12 {
+						continue
+					}
+					t.Fatalf("trial %d step %d: beam kept %s, not in exact top-%d",
+						trial, step, entryKey(e), beamWidth)
+				}
+				if math.Abs(e.alpha-want/topMass) > 1e-9 {
+					t.Fatalf("trial %d step %d: node %s renormalized to %v, want %v",
+						trial, step, entryKey(e), e.alpha, want/topMass)
+				}
+			}
+			break // filters have diverged; later steps are not comparable
+		}
+	}
+	if truncationsSeen == 0 {
+		t.Fatal("no trial ever exercised beam truncation; scenario generator too tame")
+	}
+}
+
+// TestFilterDistributionAndTopLocations checks the aggregated accessors
+// against Current and each other.
+func TestFilterDistributionAndTopLocations(t *testing.T) {
+	f := NewFilter(nil, nil)
+	if _, err := f.Distribution(); err == nil {
+		t.Error("Distribution before Observe accepted")
+	}
+	if _, err := f.TopLocations(1); err == nil {
+		t.Error("TopLocations before Observe accepted")
+	}
+	if err := f.Observe([]Candidate{{Loc: 0, P: 0.2}, {Loc: 1, P: 0.5}, {Loc: 2, P: 0.3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.TopLocations(0); err == nil {
+		t.Error("TopLocations(0) accepted")
+	}
+	dist, err := f.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := f.Current(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 3 {
+		t.Fatalf("Distribution has %d entries, want 3", len(dist))
+	}
+	for i := 1; i < len(dist); i++ {
+		if dist[i-1].P < dist[i].P {
+			t.Fatalf("Distribution not sorted: %v", dist)
+		}
+	}
+	for _, lp := range dist {
+		if math.Abs(lp.P-cur[lp.Loc]) > 1e-12 {
+			t.Fatalf("Distribution loc %d = %v, Current %v", lp.Loc, lp.P, cur[lp.Loc])
+		}
+	}
+	top, err := f.TopLocations(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != dist[0] || top[1] != dist[1] {
+		t.Fatalf("TopLocations(2) = %v, Distribution = %v", top, dist)
+	}
+	// k larger than the support returns everything.
+	all, err := f.TopLocations(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(dist) {
+		t.Fatalf("TopLocations(10) has %d entries, want %d", len(all), len(dist))
+	}
+}

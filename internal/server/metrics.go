@@ -113,6 +113,13 @@ type metrics struct {
 	storeCount     gauge
 	storeEvictions counter
 
+	// Streaming sessions.
+	streamSessions gauge    // currently open sessions
+	streamReadings *labeled // {outcome: ok|out_of_order|gap|budget|bad_reading|dead_end|dead_session}
+	observeSeconds *histogram
+	streamReaped   counter
+	streamEvicted  counter
+
 	// Resource bounds and liveness.
 	deployments    gauge
 	bodyRejections counter
@@ -129,6 +136,10 @@ func newMetrics() *metrics {
 		),
 		graphBytes: newHistogram(
 			1<<10, 4<<10, 16<<10, 64<<10, 256<<10, 1<<20, 4<<20, 16<<20,
+		),
+		streamReadings: newLabeled("outcome"),
+		observeSeconds: newHistogram(
+			0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1,
 		),
 	}
 }
@@ -164,6 +175,16 @@ func (m *metrics) writeTo(w io.Writer) {
 		"Trajectory graphs currently stored.", &m.storeCount)
 	writeCounter(w, "rfidclean_store_evictions_total",
 		"Trajectory graphs evicted to fit the store byte budget.", &m.storeEvictions)
+	writeGauge(w, "rfidclean_stream_sessions",
+		"Streaming sessions currently open.", &m.streamSessions)
+	writeLabeled(w, "rfidclean_stream_readings_total",
+		"Streaming readings processed, by outcome.", m.streamReadings)
+	writeHistogram(w, "rfidclean_stream_observe_duration_seconds",
+		"Per-reading latency of streaming filter observations.", m.observeSeconds)
+	writeCounter(w, "rfidclean_stream_reaped_total",
+		"Streaming sessions closed by the idle-TTL reaper.", &m.streamReaped)
+	writeCounter(w, "rfidclean_stream_evicted_total",
+		"Streaming sessions evicted to admit new ones at the session cap.", &m.streamEvicted)
 	writeGauge(w, "rfidclean_deployments",
 		"Deployments currently registered.", &m.deployments)
 	writeCounter(w, "rfidclean_body_rejections_total",

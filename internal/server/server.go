@@ -9,6 +9,11 @@
 //	GET    /v1/deployments                 list deployments
 //	POST   /v1/clean                       CleanRequest -> CleanResponse
 //	POST   /v1/clean/batch                 BatchCleanRequest -> []BatchCleanResult
+//	POST   /v1/stream                      open a streaming session -> {"id": ...}
+//	POST   /v1/stream/{id}/readings        append readings -> StreamStatus
+//	GET    /v1/stream/{id}?top=k           current filtered distribution
+//	POST   /v1/stream/{id}/smooth          offline re-clean of the buffer
+//	DELETE /v1/stream/{id}                 close (final smooth unless ?smooth=no)
 //	GET    /v1/trajectories/{id}/stay?t=N  stay-query distribution
 //	GET    /v1/trajectories/{id}/match?pattern=...  trajectory query
 //	GET    /v1/trajectories/{id}/top?k=N   k most probable trajectories
@@ -48,9 +53,10 @@ type Server struct {
 	deployments map[string]*deployment
 	nextDep     int
 
-	store   *trajStore
-	metrics *metrics
-	mux     *http.ServeMux
+	store    *trajStore
+	sessions *sessionStore
+	metrics  *metrics
+	mux      *http.ServeMux
 }
 
 // Options configures a Server.
@@ -69,6 +75,17 @@ type Options struct {
 	// ConstraintCacheEntries caps the per-deployment constraint cache
 	// (zero or negative uses the default, 64 entries).
 	ConstraintCacheEntries int
+	// MaxSessions caps concurrently open streaming sessions; at capacity
+	// the least-recently-active session is evicted. Zero uses the default
+	// (1024); negative removes the cap.
+	MaxSessions int
+	// SessionTTL is how long an idle streaming session lives before the
+	// background reaper closes it. Zero uses the default (15 minutes);
+	// negative disables reaping.
+	SessionTTL time.Duration
+	// MaxSessionReadings caps the readings a session buffers for offline
+	// smoothing. Zero uses the default (65536); negative removes the cap.
+	MaxSessionReadings int
 }
 
 // DefaultMaxBodyBytes is the POST body cap applied when Options.MaxBodyBytes
@@ -104,16 +121,28 @@ func NewWithOptions(opts Options) *Server {
 		maxBody:      maxBody,
 		cacheEntries: opts.ConstraintCacheEntries,
 		store:        newTrajStore(opts.MaxStoreBytes, m),
+		sessions:     newSessionStore(opts, m),
 		metrics:      m,
 		mux:          http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/deployments", s.handleDeployments)
 	s.mux.HandleFunc("/v1/clean", s.handleClean)
 	s.mux.HandleFunc("/v1/clean/batch", s.handleCleanBatch)
+	s.mux.HandleFunc("/v1/stream", s.handleStreamOpen)
+	s.mux.HandleFunc("/v1/stream/", s.handleStream)
 	s.mux.HandleFunc("/v1/trajectories/", s.handleTrajectory)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", m)
 	return s
+}
+
+// Close releases the server's background resources: it stops the streaming
+// session reaper (waiting for the goroutine to exit) and drops every open
+// session. Serving after Close answers stream opens with 503. It is
+// idempotent and safe to call while requests are in flight.
+func (s *Server) Close() error {
+	s.sessions.close()
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -499,6 +528,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"deployments":  deps,
 		"trajectories": count,
 		"storeBytes":   bytes,
+		"sessions":     s.sessions.count(),
 	})
 }
 

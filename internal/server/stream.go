@@ -1,0 +1,549 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rfidclean "repro"
+)
+
+// This file implements streaming ingestion sessions — the live-tracking
+// counterpart of the batch /v1/clean endpoints. A session pins a deployment
+// and a constraint set and feeds timestamped reader sets, as they arrive,
+// through the deployment prior into a per-session core.Filter. At any point
+// the client can read the *filtered* distribution of the object's current
+// location (conditioned on the past only — the best an online cleaner can
+// do); on demand, or when the session closes, the buffered sequence is
+// re-cleaned offline with Algorithm 1 so the client gets the *smoothed*
+// answer the ct-graph would give, stored in the trajectory store where the
+// usual query endpoints apply.
+//
+//	POST   /v1/stream                     StreamOpenRequest -> {"id": ...}
+//	POST   /v1/stream/{id}/readings      append readings -> StreamStatus
+//	GET    /v1/stream/{id}[?top=k]       current filtered distribution
+//	POST   /v1/stream/{id}/smooth        offline re-clean -> CleanResponse
+//	DELETE /v1/stream/{id}[?smooth=no]   close (smoothing by default)
+//
+// Sessions are bounded three ways: a beam width caps each filter's frontier
+// (an approximation trade documented on FilterOptions), a per-session
+// reading budget caps the smoothing buffer, and a server-wide session cap
+// evicts the least-recently-active session when full. Idle sessions are
+// reaped by a background goroutine after a TTL; the reaper is wired into
+// Server.Close so a graceful shutdown drains it deterministically.
+
+// Streaming session defaults, applied when the corresponding Options fields
+// are zero.
+const (
+	DefaultMaxSessions        = 1024
+	DefaultSessionTTL         = 15 * time.Minute
+	DefaultMaxSessionReadings = 1 << 16
+)
+
+// streamSession is one live-tracking session. Its mutex serializes filter
+// advancement and buffer appends; lastActive is atomic so the reaper can
+// scan sessions without contending with a slow Observe.
+type streamSession struct {
+	id   string
+	dep  *deployment
+	prms rfidclean.ConstraintParams
+
+	mu       sync.Mutex
+	filter   *rfidclean.Filter
+	readings rfidclean.ReadingSequence // buffered for offline smoothing
+	dead     bool                      // constraints ruled out every continuation
+
+	lastActive atomic.Int64 // unix nanoseconds
+}
+
+func (ss *streamSession) touch() { ss.lastActive.Store(time.Now().UnixNano()) }
+
+// sessionStore owns the open sessions, the id counter, and the idle reaper.
+type sessionStore struct {
+	maxSessions int           // <= 0: unlimited
+	ttl         time.Duration // <= 0: sessions are never reaped
+	maxReadings int           // <= 0: unlimited buffering
+	m           *metrics
+
+	mu       sync.Mutex
+	sessions map[string]*streamSession
+	next     int
+	reaping  bool          // reaper goroutine started
+	stop     chan struct{} // closed by close()
+	done     chan struct{} // closed when the reaper goroutine exits
+	closed   bool
+}
+
+func newSessionStore(opts Options, m *metrics) *sessionStore {
+	maxSessions := opts.MaxSessions
+	if maxSessions == 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	ttl := opts.SessionTTL
+	if ttl == 0 {
+		ttl = DefaultSessionTTL
+	}
+	maxReadings := opts.MaxSessionReadings
+	if maxReadings == 0 {
+		maxReadings = DefaultMaxSessionReadings
+	}
+	return &sessionStore{
+		maxSessions: maxSessions,
+		ttl:         ttl,
+		maxReadings: maxReadings,
+		m:           m,
+		sessions:    make(map[string]*streamSession),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// open creates a session. At capacity the least-recently-active session is
+// evicted to make room — live tracking favors fresh streams over stale ones,
+// and an evicted client can always re-open and re-send. Returns nil when the
+// store has been closed.
+func (st *sessionStore) open(dep *deployment, prms rfidclean.ConstraintParams, f *rfidclean.Filter) *streamSession {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	if st.maxSessions > 0 && len(st.sessions) >= st.maxSessions {
+		st.evictOldestLocked()
+	}
+	st.next++
+	s := &streamSession{
+		id:     "s" + strconv.Itoa(st.next),
+		dep:    dep,
+		prms:   prms,
+		filter: f,
+	}
+	s.touch()
+	st.sessions[s.id] = s
+	st.m.streamSessions.set(int64(len(st.sessions)))
+	if st.ttl > 0 && !st.reaping {
+		st.reaping = true
+		go st.reapLoop()
+	}
+	return s
+}
+
+// evictOldestLocked removes the session with the stalest activity stamp.
+func (st *sessionStore) evictOldestLocked() {
+	var victimID string
+	oldest := int64(1<<63 - 1)
+	for id, s := range st.sessions {
+		if a := s.lastActive.Load(); a < oldest {
+			oldest, victimID = a, id
+		}
+	}
+	if victimID == "" {
+		return
+	}
+	delete(st.sessions, victimID)
+	st.m.streamEvicted.inc()
+}
+
+// get returns the session with the given id, or nil.
+func (st *sessionStore) get(id string) *streamSession {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sessions[id]
+}
+
+// remove deletes a session, reporting whether it existed.
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	_, ok := st.sessions[id]
+	if ok {
+		delete(st.sessions, id)
+		st.m.streamSessions.set(int64(len(st.sessions)))
+	}
+	st.mu.Unlock()
+	return ok
+}
+
+// count returns the number of open sessions.
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// reapLoop periodically drops sessions idle past the TTL. It exits when the
+// store closes; the tick is a fraction of the TTL so a session outlives its
+// TTL by at most ~25%.
+func (st *sessionStore) reapLoop() {
+	defer close(st.done)
+	tick := st.ttl / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case now := <-ticker.C:
+			st.reap(now)
+		}
+	}
+}
+
+// reap removes sessions whose last activity is older than the TTL,
+// returning how many it dropped.
+func (st *sessionStore) reap(now time.Time) int {
+	cutoff := now.Add(-st.ttl).UnixNano()
+	st.mu.Lock()
+	reaped := 0
+	for id, s := range st.sessions {
+		if s.lastActive.Load() < cutoff {
+			delete(st.sessions, id)
+			reaped++
+		}
+	}
+	if reaped > 0 {
+		st.m.streamSessions.set(int64(len(st.sessions)))
+	}
+	st.mu.Unlock()
+	for i := 0; i < reaped; i++ {
+		st.m.streamReaped.inc()
+	}
+	return reaped
+}
+
+// close stops the reaper (waiting for it to exit) and drops every session.
+// It is idempotent.
+func (st *sessionStore) close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	reaping := st.reaping
+	st.sessions = make(map[string]*streamSession)
+	st.m.streamSessions.set(0)
+	st.mu.Unlock()
+	close(st.stop)
+	if reaping {
+		<-st.done
+	}
+}
+
+// StreamOpenRequest opens a streaming session against a registered
+// deployment. MaxSpeed/MinStay/TTCap select the constraint set exactly like
+// CleanRequest (and share its per-deployment cache).
+type StreamOpenRequest struct {
+	// Deployment is the id returned by POST /v1/deployments.
+	Deployment string `json:"deployment"`
+	// MaxSpeed (m/s) drives TT inference; required, > 0.
+	MaxSpeed float64 `json:"maxSpeed"`
+	// MinStay (s) drives LT inference on non-corridor locations.
+	MinStay int `json:"minStay"`
+	// TTCap optionally truncates TT horizons (0 = uncapped).
+	TTCap int `json:"ttCap"`
+	// Beam optionally caps the filter's frontier (0 = exact filtering).
+	// Long, highly ambiguous streams trade a little exactness for a hard
+	// per-session memory bound.
+	Beam int `json:"beam"`
+}
+
+// StreamReadingsRequest appends readings to a session, in timestamp order.
+type StreamReadingsRequest struct {
+	Readings []rfidclean.Reading `json:"readings"`
+}
+
+// StreamStatus reports a session's progress and, on GET, its current
+// filtered distribution.
+type StreamStatus struct {
+	ID         string `json:"id"`
+	Deployment string `json:"deployment"`
+	// Time is the last observed timestamp (-1 before the first reading).
+	Time int `json:"time"`
+	// Readings is how many readings the session has buffered for smoothing.
+	Readings int `json:"readings"`
+	// Frontier is the filter's live node count (memory gauge).
+	Frontier int `json:"frontier"`
+	// Beam echoes the session's beam width (0 = exact).
+	Beam int `json:"beam,omitempty"`
+	// Dead reports that the constraints ruled out every continuation; the
+	// session only serves its buffered prefix from here on.
+	Dead bool `json:"dead,omitempty"`
+	// Current is the filtered distribution over locations, descending
+	// (GET only; capped by ?top=k).
+	Current []LocationProb `json:"current,omitempty"`
+}
+
+// handleStreamOpen serves POST /v1/stream.
+func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req StreamOpenRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	dep := s.lookupDeployment(req.Deployment)
+	if dep == nil {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", req.Deployment)
+		return
+	}
+	if req.MaxSpeed <= 0 {
+		writeError(w, http.StatusBadRequest, "maxSpeed must be positive")
+		return
+	}
+	if req.Beam < 0 {
+		writeError(w, http.StatusBadRequest, "beam must be >= 0")
+		return
+	}
+	prms := rfidclean.ConstraintParams{MaxSpeed: req.MaxSpeed, MinStay: req.MinStay, TTCap: req.TTCap}
+	ic, err := s.constraints(dep, prms)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
+		return
+	}
+	f := rfidclean.NewFilter(ic, &rfidclean.FilterOptions{Beam: req.Beam})
+	sess := s.sessions.open(dep, prms, f)
+	if sess == nil {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": sess.id})
+}
+
+// handleStream routes /v1/stream/{id}[/{op}].
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/stream/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := parts[0]
+	op := ""
+	if len(parts) == 2 {
+		op = parts[1]
+	}
+	sess := s.sessions.get(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown stream session %q", id)
+		return
+	}
+	switch {
+	case op == "" && r.Method == http.MethodGet:
+		s.handleStreamStatus(w, r, sess)
+	case op == "" && r.Method == http.MethodDelete:
+		s.handleStreamClose(w, r, sess)
+	case op == "readings" && r.Method == http.MethodPost:
+		s.handleStreamReadings(w, r, sess)
+	case op == "smooth" && r.Method == http.MethodPost:
+		s.handleStreamSmooth(w, r, sess)
+	case op == "" || op == "readings" || op == "smooth":
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	default:
+		writeError(w, http.StatusNotFound, "unknown operation %q", op)
+	}
+}
+
+// statusLocked renders the session's progress; the caller holds sess.mu.
+func statusLocked(sess *streamSession) StreamStatus {
+	return StreamStatus{
+		ID:         sess.id,
+		Deployment: sess.dep.id,
+		Time:       sess.filter.Time(),
+		Readings:   len(sess.readings),
+		Frontier:   sess.filter.FrontierSize(),
+		Beam:       sess.filter.Beam(),
+		Dead:       sess.dead,
+	}
+}
+
+// handleStreamReadings appends readings to the session and advances the
+// filter one timestamp per reading. Timestamps must arrive densely and in
+// order: reading N is timestamp N. A duplicate or out-of-order timestamp is
+// rejected with 409, a gap with 422, and a reading the constraints rule out
+// kills the session (422; the buffered prefix remains smoothable). On a
+// mid-batch error the already-observed prefix is kept.
+func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, sess *streamSession) {
+	var req StreamReadingsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Readings) == 0 {
+		writeError(w, http.StatusBadRequest, "readings must be non-empty")
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	defer sess.touch()
+	if sess.dead {
+		s.metrics.streamReadings.inc("dead_session")
+		writeError(w, http.StatusGone, "session %s hit a dead end at timestamp %d and accepts no more readings", sess.id, sess.filter.Time()+1)
+		return
+	}
+	for _, reading := range req.Readings {
+		next := len(sess.readings)
+		if reading.Time < next {
+			s.metrics.streamReadings.inc("out_of_order")
+			writeError(w, http.StatusConflict, "duplicate or out-of-order timestamp %d (already observed through %d)", reading.Time, next-1)
+			return
+		}
+		if reading.Time > next {
+			s.metrics.streamReadings.inc("gap")
+			writeError(w, http.StatusUnprocessableEntity, "timestamp gap: got %d, next expected %d", reading.Time, next)
+			return
+		}
+		if s.sessions.maxReadings > 0 && next >= s.sessions.maxReadings {
+			s.metrics.streamReadings.inc("budget")
+			writeError(w, http.StatusTooManyRequests, "session reading budget (%d) exhausted; smooth and close, or open a new session", s.sessions.maxReadings)
+			return
+		}
+		cands, err := sess.dep.sys.Candidates(reading.Readers)
+		if err != nil {
+			s.metrics.streamReadings.inc("bad_reading")
+			writeError(w, http.StatusBadRequest, "timestamp %d: %v", reading.Time, err)
+			return
+		}
+		start := time.Now()
+		err = sess.filter.Observe(cands)
+		s.metrics.observeSeconds.observe(time.Since(start).Seconds())
+		if errors.Is(err, rfidclean.ErrNoValidTrajectory) {
+			sess.dead = true
+			s.metrics.streamReadings.inc("dead_end")
+			writeError(w, http.StatusUnprocessableEntity, "timestamp %d is inconsistent with the constraints; session is dead (buffered prefix of %d readings remains smoothable)", reading.Time, len(sess.readings))
+			return
+		}
+		if err != nil {
+			s.metrics.streamReadings.inc("bad_reading")
+			writeError(w, http.StatusBadRequest, "timestamp %d: %v", reading.Time, err)
+			return
+		}
+		sess.readings = append(sess.readings, reading)
+		s.metrics.streamReadings.inc("ok")
+	}
+	writeJSON(w, http.StatusOK, statusLocked(sess))
+}
+
+// handleStreamStatus serves the current filtered distribution; ?top=k caps
+// the entries to the k most probable current locations.
+func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request, sess *streamSession) {
+	top := 0
+	if q := r.URL.Query().Get("top"); q != "" {
+		var err error
+		if top, err = strconv.Atoi(q); err != nil || top < 1 {
+			writeError(w, http.StatusBadRequest, "invalid ?top=")
+			return
+		}
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.touch()
+	st := statusLocked(sess)
+	if sess.filter.Time() >= 0 {
+		var (
+			dist []rfidclean.LocProb
+			err  error
+		)
+		if top > 0 {
+			dist, err = sess.filter.TopLocations(top)
+		} else {
+			dist, err = sess.filter.Distribution()
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		st.Current = make([]LocationProb, len(dist))
+		for i, lp := range dist {
+			st.Current[i] = LocationProb{Location: sess.dep.sys.Plan.Location(lp.Loc).Name, P: lp.P}
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// smoothLocked re-cleans the buffered sequence offline (LenientEnd, so the
+// final timestamp agrees with the filtered answer) and stores the ct-graph
+// in the trajectory store. The caller holds sess.mu.
+func (s *Server) smoothLocked(sess *streamSession) (CleanResponse, int, error) {
+	if len(sess.readings) == 0 {
+		return CleanResponse{}, http.StatusUnprocessableEntity,
+			errors.New("session has no readings to smooth")
+	}
+	start := time.Now()
+	outcome := "error"
+	defer func() { s.metrics.cleanRequests.inc("stream", outcome) }()
+	ic, err := s.constraints(sess.dep, sess.prms)
+	if err != nil {
+		return CleanResponse{}, http.StatusInternalServerError, err
+	}
+	cleaned, err := sess.dep.sys.Clean(sess.readings, ic, &rfidclean.BuildOptions{
+		EndLatency: rfidclean.LenientEnd,
+	})
+	if err != nil {
+		// The filter accepted this prefix, so the exact build can only fail
+		// on internal errors, not on constraint violations.
+		return CleanResponse{}, http.StatusInternalServerError, err
+	}
+	id := s.store.add(sess.dep.id, cleaned)
+	st := cleaned.Stats()
+	outcome = "ok"
+	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())
+	s.metrics.graphBytes.observe(float64(st.Bytes))
+	return CleanResponse{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes}, http.StatusCreated, nil
+}
+
+// handleStreamSmooth serves POST /v1/stream/{id}/smooth: the on-demand
+// offline re-clean. The session stays open and keeps accepting readings.
+func (s *Server) handleStreamSmooth(w http.ResponseWriter, r *http.Request, sess *streamSession) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.touch()
+	resp, status, err := s.smoothLocked(sess)
+	if err != nil {
+		writeError(w, status, "smoothing failed: %v", err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// StreamCloseResponse is the DELETE /v1/stream/{id} answer.
+type StreamCloseResponse struct {
+	Closed string `json:"closed"`
+	// Trajectory holds the final smoothed ct-graph (unless smoothing was
+	// skipped); query it under /v1/trajectories/{id}.
+	Trajectory *CleanResponse `json:"trajectory,omitempty"`
+}
+
+// handleStreamClose serves DELETE /v1/stream/{id}. By default the buffered
+// sequence is smoothed one last time so the client walks away with the
+// ct-graph answer; ?smooth=no (or false/0) skips that, as does an empty
+// buffer.
+func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request, sess *streamSession) {
+	smooth := true
+	switch strings.ToLower(r.URL.Query().Get("smooth")) {
+	case "no", "false", "0":
+		smooth = false
+	}
+	if !s.sessions.remove(sess.id) {
+		writeError(w, http.StatusNotFound, "unknown stream session %q", sess.id)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	out := StreamCloseResponse{Closed: sess.id}
+	if smooth && len(sess.readings) > 0 {
+		resp, status, err := s.smoothLocked(sess)
+		if err != nil {
+			writeError(w, status, "session closed, but final smoothing failed: %v", err)
+			return
+		}
+		out.Trajectory = &resp
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,628 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	rfidclean "repro"
+)
+
+// streamHarness boots a server with the given options and registers the test
+// deployment, returning the base URL, the server itself (for shutdown and
+// reaper checks), the deployment id, and the System for generating readings.
+func streamHarness(t *testing.T, opts Options) (base string, srv *Server, depID string, sys *rfidclean.System) {
+	t.Helper()
+	depJSON, sys := testDeployment(t)
+	srv = NewWithOptions(opts)
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/deployments", "application/json", bytes.NewReader(depJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	return ts.URL, srv, created["id"], sys
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func openStream(t *testing.T, base, depID string, beam int) string {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/stream", StreamOpenRequest{
+		Deployment: depID, MaxSpeed: 2, MinStay: 5, Beam: beam,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open stream status = %d: %s", resp.StatusCode, body)
+	}
+	var created map[string]string
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	return created["id"]
+}
+
+func testReadings(t *testing.T, sys *rfidclean.System, seed uint64, duration int) rfidclean.ReadingSequence {
+	t.Helper()
+	rng := rfidclean.NewRNG(seed)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(duration), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rfidclean.GenerateReadings(truth, sys.Truth, rng)
+}
+
+// offlineFinalDistribution cleans the full sequence offline under LenientEnd
+// and returns the last timestamp's marginal keyed by location name — the
+// reference answer the streaming filter must converge to.
+func offlineFinalDistribution(t *testing.T, sys *rfidclean.System, readings rfidclean.ReadingSequence) map[string]float64 {
+	t.Helper()
+	ic, err := sys.InferConstraints(2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, err := sys.Clean(readings, ic, &rfidclean.BuildOptions{EndLatency: rfidclean.LenientEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := cleaned.StayDistribution(len(readings) - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]float64)
+	for loc, p := range dist {
+		if p > 0 {
+			want[sys.Plan.Location(loc).Name] = p
+		}
+	}
+	return want
+}
+
+// streamStatus GETs the session, optionally with ?top=k (k <= 0 omits it).
+func streamStatus(t *testing.T, base, sid string, top int) StreamStatus {
+	t.Helper()
+	url := base + "/v1/stream/" + sid
+	if top > 0 {
+		url += fmt.Sprintf("?top=%d", top)
+	}
+	var st StreamStatus
+	if code := getJSON(t, url, &st); code != http.StatusOK {
+		t.Fatalf("stream status = %d", code)
+	}
+	return st
+}
+
+// feedOneByOne posts each reading in its own request — the live-tracking
+// access pattern — and returns the final status.
+func feedOneByOne(t *testing.T, base, sid string, readings rfidclean.ReadingSequence) StreamStatus {
+	t.Helper()
+	var st StreamStatus
+	for i, r := range readings {
+		resp, body := postJSON(t, base+"/v1/stream/"+sid+"/readings", StreamReadingsRequest{
+			Readings: []rfidclean.Reading{r},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reading %d status = %d: %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Time != i || st.Readings != i+1 {
+			t.Fatalf("after reading %d: status %+v", i, st)
+		}
+	}
+	return st
+}
+
+// checkDistribution asserts a streamed Current distribution matches the
+// offline reference within floating-point noise.
+func checkDistribution(t *testing.T, got []LocationProb, want map[string]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("distribution support: got %v, want %v", got, want)
+	}
+	for i, lp := range got {
+		w, ok := want[lp.Location]
+		if !ok {
+			t.Fatalf("unexpected location %q in %v", lp.Location, got)
+		}
+		if math.Abs(lp.P-w) > 1e-9 {
+			t.Errorf("P(%s) = %v, offline ct-graph says %v", lp.Location, lp.P, w)
+		}
+		if i > 0 && lp.P > got[i-1].P {
+			t.Errorf("distribution not sorted descending: %v", got)
+		}
+	}
+}
+
+// TestStreamEndToEnd is the tentpole acceptance test: feed a sequence one
+// timestamp at a time through the HTTP session API and check the final
+// filtered distribution equals the offline ct-graph's last-timestamp marginal
+// under LenientEnd. Then smooth, query the stored trajectory, and close.
+func TestStreamEndToEnd(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	readings := testReadings(t, sys, 77, 60)
+	want := offlineFinalDistribution(t, sys, readings)
+	sid := openStream(t, base, depID, 0)
+
+	// A fresh session has observed nothing.
+	if st := streamStatus(t, base, sid, 0); st.Time != -1 || len(st.Current) != 0 {
+		t.Fatalf("fresh session status = %+v", st)
+	}
+
+	st := feedOneByOne(t, base, sid, readings)
+	if st.Readings != len(readings) || st.Frontier <= 0 || st.Dead {
+		t.Fatalf("final status = %+v", st)
+	}
+
+	// The filtered distribution at the last timestamp IS the smoothed one:
+	// there is no future left to condition on.
+	st = streamStatus(t, base, sid, 0)
+	checkDistribution(t, st.Current, want)
+
+	// ?top=1 returns the head of the same ranking.
+	top := streamStatus(t, base, sid, 1)
+	if len(top.Current) != 1 || top.Current[0] != st.Current[0] {
+		t.Fatalf("top=1 gave %v, want head of %v", top.Current, st.Current)
+	}
+
+	// Mid-session smoothing stores a queryable ct-graph and keeps the
+	// session open.
+	resp, body := postJSON(t, base+"/v1/stream/"+sid+"/smooth", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("smooth status = %d: %s", resp.StatusCode, body)
+	}
+	var smoothed CleanResponse
+	if err := json.Unmarshal(body, &smoothed); err != nil {
+		t.Fatal(err)
+	}
+	if smoothed.ID == "" || smoothed.Nodes == 0 {
+		t.Fatalf("smooth response = %+v", smoothed)
+	}
+	var stay []LocationProb
+	url := fmt.Sprintf("%s/v1/trajectories/%s/stay?t=%d", base, smoothed.ID, len(readings)-1)
+	if code := getJSON(t, url, &stay); code != http.StatusOK {
+		t.Fatalf("stay on smoothed trajectory = %d", code)
+	}
+	checkDistribution(t, stay, want)
+
+	// Closing smooths once more by default and then the session is gone.
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/stream/"+sid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed StreamCloseResponse
+	if err := json.NewDecoder(dresp.Body).Decode(&closed); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || closed.Trajectory == nil || closed.Trajectory.ID == "" {
+		t.Fatalf("close status = %d, body %+v", dresp.StatusCode, closed)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s", base, closed.Trajectory.ID), nil); code != http.StatusOK {
+		t.Fatalf("close-time trajectory not queryable (%d)", code)
+	}
+	if code := getJSON(t, base+"/v1/stream/"+sid, nil); code != http.StatusNotFound {
+		t.Fatalf("closed session still answers (%d)", code)
+	}
+
+	// The stream metrics series are all exposed.
+	m := scrape(t, base)
+	for _, series := range []string{
+		"rfidclean_stream_sessions",
+		`rfidclean_stream_readings_total{outcome="ok"}`,
+		"rfidclean_stream_observe_duration_seconds_count",
+		"rfidclean_stream_reaped_total",
+		"rfidclean_stream_evicted_total",
+		`rfidclean_clean_requests_total{mode="stream",outcome="ok"} 2`,
+	} {
+		if !strings.Contains(m, series) {
+			t.Errorf("metrics missing %s", series)
+		}
+	}
+}
+
+// TestStreamBatchMatchesOneByOne: posting readings in chunks lands on the
+// same filtered distribution as posting them one at a time.
+func TestStreamBatchMatchesOneByOne(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	readings := testReadings(t, sys, 21, 40)
+
+	one := openStream(t, base, depID, 0)
+	feedOneByOne(t, base, one, readings)
+
+	chunked := openStream(t, base, depID, 0)
+	for i := 0; i < len(readings); i += 7 {
+		end := i + 7
+		if end > len(readings) {
+			end = len(readings)
+		}
+		resp, body := postJSON(t, base+"/v1/stream/"+chunked+"/readings", StreamReadingsRequest{
+			Readings: readings[i:end],
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk at %d status = %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	a := streamStatus(t, base, one, 0)
+	b := streamStatus(t, base, chunked, 0)
+	if len(a.Current) != len(b.Current) {
+		t.Fatalf("support differs: %v vs %v", a.Current, b.Current)
+	}
+	for i := range a.Current {
+		if a.Current[i].Location != b.Current[i].Location || math.Abs(a.Current[i].P-b.Current[i].P) > 1e-12 {
+			t.Fatalf("distributions differ at %d: %v vs %v", i, a.Current, b.Current)
+		}
+	}
+}
+
+// TestStreamValidation covers the typed rejections: bad opens, duplicate and
+// out-of-order timestamps (409), gaps (422), and routing errors.
+func TestStreamValidation(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	readings := testReadings(t, sys, 5, 20)
+
+	// Open-time validation.
+	for name, tc := range map[string]struct {
+		req  StreamOpenRequest
+		want int
+	}{
+		"unknown deployment": {StreamOpenRequest{Deployment: "d999", MaxSpeed: 2}, http.StatusNotFound},
+		"zero speed":         {StreamOpenRequest{Deployment: depID}, http.StatusBadRequest},
+		"negative beam":      {StreamOpenRequest{Deployment: depID, MaxSpeed: 2, Beam: -1}, http.StatusBadRequest},
+	} {
+		if resp, _ := postJSON(t, base+"/v1/stream", tc.req); resp.StatusCode != tc.want {
+			t.Errorf("%s: open status = %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+	if resp, err := http.Get(base + "/v1/stream"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/stream = %d, want 405", resp.StatusCode)
+		}
+	}
+
+	sid := openStream(t, base, depID, 0)
+	feedOneByOne(t, base, sid, readings[:3])
+
+	post := func(rs ...rfidclean.Reading) int {
+		resp, _ := postJSON(t, base+"/v1/stream/"+sid+"/readings", StreamReadingsRequest{Readings: rs})
+		return resp.StatusCode
+	}
+	// Duplicate, out-of-order, gap, empty.
+	if code := post(readings[2]); code != http.StatusConflict {
+		t.Errorf("duplicate timestamp status = %d, want 409", code)
+	}
+	if code := post(rfidclean.Reading{Time: 0, Readers: readings[0].Readers}); code != http.StatusConflict {
+		t.Errorf("out-of-order timestamp status = %d, want 409", code)
+	}
+	if code := post(rfidclean.Reading{Time: 7, Readers: readings[7].Readers}); code != http.StatusUnprocessableEntity {
+		t.Errorf("timestamp gap status = %d, want 422", code)
+	}
+	if code := post(); code != http.StatusBadRequest {
+		t.Errorf("empty readings status = %d, want 400", code)
+	}
+	// A mid-batch rejection keeps the already-observed prefix.
+	if code := post(readings[3], readings[3]); code != http.StatusConflict {
+		t.Errorf("mid-batch duplicate status = %d, want 409", code)
+	}
+	if st := streamStatus(t, base, sid, 0); st.Readings != 4 || st.Time != 3 {
+		t.Errorf("prefix after mid-batch rejection: %+v", st)
+	}
+
+	// Routing.
+	if code := getJSON(t, base+"/v1/stream/s999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown session status = %d", code)
+	}
+	if code := getJSON(t, base+"/v1/stream/"+sid+"/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown op status = %d", code)
+	}
+	if code := getJSON(t, base+"/v1/stream/"+sid+"?top=0", nil); code != http.StatusBadRequest {
+		t.Errorf("bad top status = %d", code)
+	}
+	if resp, _ := postJSON(t, base+"/v1/stream/"+sid, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST to session root = %d, want 405", resp.StatusCode)
+	}
+
+	// Smoothing an empty session is a 422.
+	empty := openStream(t, base, depID, 0)
+	if resp, _ := postJSON(t, base+"/v1/stream/"+empty+"/smooth", nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("smooth empty session = %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestStreamDeadEnd forces a constraint dead end over HTTP. The deployment
+// is three rooms in a row (A-B-C, doors only A-B and B-C) with readers only
+// in A and C, and the rooms are wide enough that neither reader's range
+// (MinorRadius = 4m) reaches a neighboring room — so an A-only reading pins
+// the object to A and a C-only reading to C. Jumping A to C in one timestep
+// has no door path, the session dies with 422, the buffered prefix stays
+// smoothable, and further readings get 410.
+func TestStreamDeadEnd(t *testing.T) {
+	b := rfidclean.NewMapBuilder()
+	ra := b.AddLocation("a", rfidclean.Room, 0, rfidclean.RectWH(0, 0, 10, 6))
+	rb := b.AddLocation("b", rfidclean.Room, 0, rfidclean.RectWH(10, 0, 10, 6))
+	rc := b.AddLocation("c", rfidclean.Room, 0, rfidclean.RectWH(20, 0, 10, 6))
+	b.AddDoor(ra, rb, rfidclean.Pt(10, 3), 1)
+	b.AddDoor(rb, rc, rfidclean.Pt(20, 3), 1)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := &rfidclean.Deployment{
+		Name: "row",
+		Plan: plan,
+		Readers: []rfidclean.Reader{
+			{ID: 0, Name: "r-a", Floor: 0, Pos: rfidclean.Pt(5, 3)},
+			{ID: 1, Name: "r-c", Floor: 0, Pos: rfidclean.Pt(25, 3)},
+		},
+		Detection:          rfidclean.DefaultThreeState(),
+		CellSize:           0.5,
+		CalibrationSamples: 30,
+		Seed:               3,
+	}
+	var buf bytes.Buffer
+	if err := dep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(Options{})
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	base := ts.URL
+	resp0, err := http.Post(base+"/v1/deployments", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp0.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	sid := openStream(t, base, created["id"], 0)
+
+	inA := rfidclean.NewReaderSet(0)
+	inC := rfidclean.NewReaderSet(1)
+	post := func(tm int, rs rfidclean.ReaderSet) (int, []byte) {
+		resp, body := postJSON(t, base+"/v1/stream/"+sid+"/readings", StreamReadingsRequest{
+			Readings: []rfidclean.Reading{{Time: tm, Readers: rs}},
+		})
+		return resp.StatusCode, body
+	}
+	const prefix = 6
+	for i := 0; i < prefix; i++ {
+		if code, body := post(i, inA); code != http.StatusOK {
+			t.Fatalf("room-A reading %d status = %d: %s", i, code, body)
+		}
+	}
+	code, body := post(prefix, inC)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("teleport reading status = %d (%s), want 422", code, body)
+	}
+	// The session is dead: further readings are refused ...
+	if code, _ := post(prefix, inA); code != http.StatusGone {
+		t.Errorf("reading after dead end status = %d, want 410", code)
+	}
+	if st := streamStatus(t, base, sid, 0); !st.Dead || st.Readings != prefix {
+		t.Errorf("dead session status = %+v", st)
+	}
+	// ... but the prefix still smooths.
+	resp, body := postJSON(t, base+"/v1/stream/"+sid+"/smooth", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("smoothing dead session prefix = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestStreamReadingBudget: the per-session buffer cap answers 429 and the
+// buffered prefix still smooths.
+func TestStreamReadingBudget(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{MaxSessionReadings: 3})
+	readings := testReadings(t, sys, 9, 10)
+	sid := openStream(t, base, depID, 0)
+	feedOneByOne(t, base, sid, readings[:3])
+
+	resp, _ := postJSON(t, base+"/v1/stream/"+sid+"/readings", StreamReadingsRequest{
+		Readings: readings[3:4],
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget reading status = %d, want 429", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, base+"/v1/stream/"+sid+"/smooth", nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("smoothing at budget = %d", resp.StatusCode)
+	}
+}
+
+// TestStreamEviction: at the session cap the least-recently-active session
+// is evicted to admit a new one.
+func TestStreamEviction(t *testing.T) {
+	base, srv, depID, _ := streamHarness(t, Options{MaxSessions: 2})
+	first := openStream(t, base, depID, 0)
+	time.Sleep(2 * time.Millisecond) // order the activity stamps
+	second := openStream(t, base, depID, 0)
+	time.Sleep(2 * time.Millisecond)
+	// Touch the first so the second is now the stalest.
+	streamStatus(t, base, first, 0)
+	time.Sleep(2 * time.Millisecond)
+	third := openStream(t, base, depID, 0)
+
+	if srv.sessions.count() != 2 {
+		t.Fatalf("open sessions = %d, want 2", srv.sessions.count())
+	}
+	if code := getJSON(t, base+"/v1/stream/"+second, nil); code != http.StatusNotFound {
+		t.Errorf("stalest session survived eviction (%d)", code)
+	}
+	for _, id := range []string{first, third} {
+		if code := getJSON(t, base+"/v1/stream/"+id, nil); code != http.StatusOK {
+			t.Errorf("session %s evicted, want kept (%d)", id, code)
+		}
+	}
+	if !strings.Contains(scrape(t, base), "rfidclean_stream_evicted_total 1") {
+		t.Error("metrics missing the eviction")
+	}
+}
+
+// TestStreamReaperAndClose proves the idle reaper fires and that Server.Close
+// drains it deterministically and refuses new sessions.
+func TestStreamReaperAndClose(t *testing.T) {
+	base, srv, depID, _ := streamHarness(t, Options{SessionTTL: 30 * time.Millisecond})
+	openStream(t, base, depID, 0)
+	openStream(t, base, depID, 0)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sessions.count() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper never fired; %d sessions still open", srv.sessions.count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(scrape(t, base), "rfidclean_stream_reaped_total 2") {
+		t.Error("metrics missing the reaps")
+	}
+
+	// Close is idempotent, waits for the reaper goroutine, and flips opens
+	// to 503.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv.sessions.done:
+	default:
+		t.Fatal("reaper goroutine still running after Close")
+	}
+	resp, _ := postJSON(t, base+"/v1/stream", StreamOpenRequest{Deployment: depID, MaxSpeed: 2})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open after Close = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestStreamConcurrentSessions runs independent sessions in parallel — under
+// -race this is the locking-discipline check for the session store and the
+// per-session mutexes — and checks each one still lands exactly on its own
+// offline reference distribution.
+func TestStreamConcurrentSessions(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+
+	const n = 6
+	type tc struct {
+		readings rfidclean.ReadingSequence
+		want     map[string]float64
+	}
+	cases := make([]tc, n)
+	for i := range cases {
+		r := testReadings(t, sys, uint64(100+i), 40)
+		cases[i] = tc{readings: r, want: offlineFinalDistribution(t, sys, r)}
+	}
+
+	var wg sync.WaitGroup
+	for i := range cases {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sid := openStream(t, base, depID, 0)
+			for j, r := range cases[i].readings {
+				resp, body := postJSON(t, base+"/v1/stream/"+sid+"/readings", StreamReadingsRequest{
+					Readings: []rfidclean.Reading{r},
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("session %d reading %d status = %d: %s", i, j, resp.StatusCode, body)
+					return
+				}
+			}
+			st := streamStatus(t, base, sid, 0)
+			checkDistribution(t, st.Current, cases[i].want)
+			resp, _ := postJSON(t, base+"/v1/stream/"+sid+"/smooth", nil)
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("session %d smooth status = %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// All sessions filtered under one deployment and one parameter set:
+	// constraint inference ran exactly once.
+	if !strings.Contains(scrape(t, base), "rfidclean_constraint_cache_misses_total 1") {
+		t.Error("constraint inference ran more than once across concurrent sessions")
+	}
+}
+
+// TestStreamBeamSession: a beam-limited session bounds its frontier and
+// still produces a normalized, sorted distribution.
+func TestStreamBeamSession(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	readings := testReadings(t, sys, 55, 50)
+	sid := openStream(t, base, depID, 2)
+
+	st := feedOneByOne(t, base, sid, readings)
+	if st.Beam != 2 {
+		t.Fatalf("status beam = %d, want 2", st.Beam)
+	}
+	if st.Frontier > 2 {
+		t.Fatalf("frontier %d exceeds beam 2", st.Frontier)
+	}
+	st = streamStatus(t, base, sid, 0)
+	total := 0.0
+	for _, lp := range st.Current {
+		total += lp.P
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("beamed distribution sums to %v", total)
+	}
+}
+
+// TestStreamHealthz: open sessions are visible in the health payload.
+func TestStreamHealthz(t *testing.T) {
+	base, _, depID, _ := streamHarness(t, Options{})
+	openStream(t, base, depID, 0)
+	openStream(t, base, depID, 0)
+	var health map[string]any
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if health["sessions"].(float64) != 2 {
+		t.Fatalf("healthz sessions = %v, want 2", health["sessions"])
+	}
+}

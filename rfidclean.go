@@ -178,6 +178,9 @@ type (
 	Filter = core.Filter
 	// FilterOptions configures a Filter (e.g. a beam width).
 	FilterOptions = core.FilterOptions
+	// LocProb is one (location ID, probability) entry of a filtered
+	// distribution, as returned by Filter.Distribution/TopLocations.
+	LocProb = core.LocProb
 )
 
 // NewFilter returns a streaming cleaner over the given constraints.
@@ -374,6 +377,27 @@ func (s *System) CleanGroup(readings []ReadingSequence, ic *ConstraintSet, opts 
 		return nil, err
 	}
 	return newCleaned(g, s.Plan), nil
+}
+
+// Candidates converts one reading's detecting-reader set into the candidate
+// locations with non-zero probability under the prior — the per-timestamp
+// input of a streaming Filter. The result is freshly allocated and owned by
+// the caller.
+func (s *System) Candidates(r ReaderSet) ([]LCandidate, error) {
+	if s.Prior == nil {
+		return nil, fmt.Errorf("rfidclean: no prior; call CalibratePrior or SetPrior first")
+	}
+	dist := s.Prior.Dist(r)
+	cands := make([]LCandidate, 0, 8)
+	for loc, p := range dist {
+		if p > 0 {
+			cands = append(cands, LCandidate{Loc: loc, P: p})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("rfidclean: no candidate location for readers %v", r)
+	}
+	return cands, nil
 }
 
 // LocationID resolves a location name to its ID.
