@@ -85,7 +85,16 @@ func (s *System) CleanAll(readings []ReadingSequence, ic *ConstraintSet, opts *B
 					errs[i] = err
 					continue
 				}
-				cleaned[i], errs[i] = s.Clean(readings[i], ic, build)
+				b := build
+				if b != nil && b.Explain != nil {
+					// Explain reports are written without synchronization, so
+					// concurrent slots must not share one; give each job its
+					// own copy of the options with a fresh report.
+					bb := *b
+					bb.Explain = &BuildExplain{}
+					b = &bb
+				}
+				cleaned[i], errs[i] = s.CleanCtx(ctx, readings[i], ic, b)
 			}
 		}()
 	}

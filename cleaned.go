@@ -3,6 +3,7 @@ package rfidclean
 import (
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/floorplan"
@@ -13,9 +14,10 @@ import (
 // trajectory graph plus a query engine over it. All probabilities it reports
 // are conditioned on the integrity constraints holding.
 type Cleaned struct {
-	graph  *core.Graph
-	plan   *floorplan.Plan
-	engine *query.Engine
+	graph   *core.Graph
+	plan    *floorplan.Plan
+	engine  *query.Engine
+	explain *Explain
 
 	statsOnce sync.Once
 	stats     core.Stats
@@ -28,6 +30,34 @@ func newCleaned(g *core.Graph, plan *floorplan.Plan) *Cleaned {
 		engine: query.NewEngine(g, plan.NumLocations()),
 	}
 }
+
+// newCleanedExplained wraps newCleaned, attaching an explain report when the
+// build options requested one. The report is deep-copied out of the options
+// so the Cleaned's copy survives the options being reused for another build.
+func newCleanedExplained(g *core.Graph, plan *floorplan.Plan, opts *core.Options, derive time.Duration) *Cleaned {
+	c := newCleaned(g, plan)
+	if opts != nil && opts.Explain != nil {
+		b := *opts.Explain
+		b.Steps = append([]ExplainStep(nil), b.Steps...)
+		c.explain = &Explain{DeriveNanos: derive.Nanoseconds(), Build: b}
+	}
+	return c
+}
+
+// Explain is the cleaning explain report of one Clean call: where the time
+// went and where candidate interpretations were pruned, constraint family by
+// constraint family. Collect one by cleaning with BuildOptions.Explain set.
+type Explain struct {
+	// DeriveNanos is the wall time spent deriving the l-sequence from the
+	// readings through the prior.
+	DeriveNanos int64 `json:"deriveNanos"`
+	// Build is Algorithm 1's own report.
+	Build BuildExplain `json:"build"`
+}
+
+// Explain returns the cleaning explain report, or nil when the clean did not
+// request one (BuildOptions.Explain was unset).
+func (c *Cleaned) Explain() *Explain { return c.explain }
 
 // Graph exposes the underlying conditioned trajectory graph.
 func (c *Cleaned) Graph() *CTGraph { return c.graph }

@@ -30,10 +30,16 @@
 // -pprof mounts net/http/pprof under /debug/pprof/. -max-sessions caps open
 // streaming sessions (least-recently-active eviction past it),
 // -session-ttl bounds how long an idle session lives, and
-// -max-session-readings caps each session's smoothing buffer. On
-// SIGINT/SIGTERM the server stops accepting connections, drains in-flight
-// requests for up to -drain-timeout, then stops the session reaper before
-// exiting.
+// -max-session-readings caps each session's smoothing buffer.
+//
+// Observability: every response carries an X-Request-ID (echoed from the
+// request or generated), access lines go to stderr as structured slog
+// records at -log-level verbosity, each /v1/ request records a span trace
+// served at /debug/traces (ring size -trace-buffer), and cleaned
+// trajectories answer /v1/trajectories/{id}/explain with per-phase timings
+// and per-constraint prune counts. On SIGINT/SIGTERM the server stops
+// accepting connections, drains in-flight requests for up to -drain-timeout,
+// then stops the session reaper before exiting.
 package main
 
 import (
@@ -49,8 +55,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
+
+	"log/slog"
 
 	rfidclean "repro"
 	"repro/internal/dataset"
@@ -70,8 +79,25 @@ type config struct {
 	maxSessionReadings int
 	pprof              bool
 	drain              time.Duration
+	logLevel           string
+	traceBuffer        int
 
 	ready chan<- net.Addr // if non-nil, receives the bound listen address
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", s)
 }
 
 func main() {
@@ -89,6 +115,8 @@ func main() {
 	flag.IntVar(&cfg.maxSessionReadings, "max-session-readings", server.DefaultMaxSessionReadings, "max readings a streaming session buffers for smoothing (<= 0 removes the cap)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.DurationVar(&cfg.drain, "drain-timeout", 10*time.Second, "how long to drain in-flight requests on shutdown")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log verbosity: debug, info, warn or error (debug includes /healthz and /metrics access lines)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "recent request traces kept for GET /debug/traces (0 = default 256, negative disables tracing)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -120,6 +148,11 @@ func run(ctx context.Context, cfg config) error {
 	if maxSessionReadings <= 0 {
 		maxSessionReadings = -1
 	}
+	level, err := parseLogLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	srv := server.NewWithOptions(server.Options{
 		Workers:            cfg.workers,
 		MaxBodyBytes:       maxBody,
@@ -127,6 +160,8 @@ func run(ctx context.Context, cfg config) error {
 		MaxSessions:        maxSessions,
 		SessionTTL:         sessionTTL,
 		MaxSessionReadings: maxSessionReadings,
+		Logger:             logger,
+		TraceBuffer:        cfg.traceBuffer,
 	})
 	defer srv.Close() // stop the session reaper once we stop serving
 	if cfg.demo {

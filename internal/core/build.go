@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/constraints"
+	"repro/internal/obs"
 )
 
 // ErrNoValidTrajectory is returned by Build when the constraints rule out
@@ -19,6 +22,13 @@ type Options struct {
 	// Definition 2; constraints.LenientEnd follows Algorithm 1 as printed
 	// (see DESIGN.md §3).
 	EndLatency constraints.EndLatencyMode
+
+	// Explain, when non-nil, is reset and filled by Build with a cleaning
+	// explain report (per-phase wall times, per-timestamp candidate counts,
+	// per-constraint prune counters). The report is written by the build
+	// goroutine with no synchronization: callers running concurrent builds
+	// must give each its own Options value.
+	Explain *BuildExplain
 }
 
 func (o *Options) endLatency() constraints.EndLatencyMode {
@@ -26,6 +36,13 @@ func (o *Options) endLatency() constraints.EndLatencyMode {
 		return constraints.StrictEnd
 	}
 	return o.EndLatency
+}
+
+func (o *Options) explain() *BuildExplain {
+	if o == nil {
+		return nil
+	}
+	return o.Explain
 }
 
 // Build runs Algorithm 1: it constructs the conditioned trajectory graph of
@@ -58,6 +75,15 @@ func (o *Options) endLatency() constraints.EndLatencyMode {
 // Build returns ErrNoValidTrajectory when the constraints exclude every
 // interpretation of the readings.
 func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
+	return BuildCtx(context.Background(), ls, ic, opts)
+}
+
+// BuildCtx is Build with observability: when ctx carries an obs.Trace the
+// compile/forward/backward/revise phases record spans into it, and when
+// opts.Explain is set the report is filled. With neither attached it is
+// byte-for-byte the same work as Build — the span calls are no-ops that
+// allocate nothing (internal/obs) and the explain branches are nil checks.
+func BuildCtx(ctx context.Context, ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 	if err := ls.Validate(); err != nil {
 		return nil, err
 	}
@@ -65,7 +91,23 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 		ic = constraints.NewSet()
 	}
 	duration := ls.Duration()
+	ex := opts.explain()
+	if ex != nil {
+		ex.reset(duration)
+	}
+	ctx, spBuild := obs.Start(ctx, "core.build")
+	defer spBuild.End()
+	spBuild.Int("timestamps", int64(duration))
+
+	_, spCompile := obs.Start(ctx, "core.compile")
+	phaseStart := time.Now()
 	b := newBuilder(ic)
+	if ex != nil {
+		ex.CompileNanos = time.Since(phaseStart).Nanoseconds()
+		phaseStart = time.Now()
+	}
+	spCompile.End()
+	_, spForward := obs.Start(ctx, "core.forward")
 	g := &Graph{byTime: make([][]*Node, duration)}
 
 	// Initialization (lines 1-4): source nodes, one per candidate at τ=0,
@@ -75,6 +117,10 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 		n.prob = c.P
 		n.idx = int32(len(g.byTime[0]))
 		g.byTime[0] = append(g.byTime[0], n)
+	}
+	if ex != nil {
+		ex.Steps[0].Candidates = len(ls.Steps[0].Candidates)
+		ex.Steps[0].NodesBuilt = len(g.byTime[0])
 	}
 
 	// Forward phase (lines 5-14). The level map is reused across timestamps;
@@ -88,11 +134,13 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 		succs  []*Node // successor per (node, candidate) pair, nil when invalid
 		outDeg []int32 // out-degree per node of the current level
 		inDeg  []int32 // in-degree per node of the next level
+		prunes [numPruneReasons]int64
 	)
 	for t := 0; t+1 < duration; t++ {
 		clear(level)
 		cur := g.byTime[t]
 		cands := ls.Steps[t+1].Candidates
+		prunedBefore := prunes[pruneDU] + prunes[pruneLT] + prunes[pruneTT]
 		succs = resize(succs, len(cur)*len(cands))
 		outDeg = resize(outDeg, len(cur))
 		inDeg = inDeg[:0]
@@ -100,8 +148,9 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 		for i, n := range cur {
 			outDeg[i] = 0
 			for _, c := range cands {
-				key, ok := b.successorKey(n, c.Loc)
-				if !ok {
+				key, why := b.successorKey(n, c.Loc)
+				prunes[why]++
+				if why != pruneNone {
 					succs[pi] = nil
 					pi++
 					continue
@@ -119,6 +168,13 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 				outDeg[i]++
 				inDeg[succ.idx]++
 			}
+		}
+		if ex != nil {
+			st := &ex.Steps[t+1]
+			st.Candidates = len(cands)
+			st.Considered = len(cur) * len(cands)
+			st.Accepted = st.Considered - int(prunes[pruneDU]+prunes[pruneLT]+prunes[pruneTT]-prunedBefore)
+			st.NodesBuilt = len(g.byTime[t+1])
 		}
 		if len(g.byTime[t+1]) == 0 {
 			return nil, fmt.Errorf("%w (dead end at timestamp %d)", ErrNoValidTrajectory, t+1)
@@ -144,20 +200,33 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 		}
 	}
 
+	spForward.End()
+	if ex != nil {
+		ex.PrunedDU = prunes[pruneDU]
+		ex.PrunedLT = prunes[pruneLT]
+		ex.PrunedTT = prunes[pruneTT]
+		ex.ForwardNanos = time.Since(phaseStart).Nanoseconds()
+		phaseStart = time.Now()
+	}
+	_, spBackward := obs.Start(ctx, "core.backward")
+
 	// Backward phase (lines 15-31 in closed form; see above).
 	// Target survivals: 1, except targets condemned by strict
 	// end-of-window latency semantics (Definition 2).
 	strict := opts.endLatency() == constraints.StrictEnd
+	condemned := 0
 	for _, n := range g.byTime[duration-1] {
 		if strict && n.Stay != StayUntracked {
 			n.surv = 0
 			n.removed = true
+			condemned++
 		} else {
 			n.surv = 1
 		}
 	}
 	g.detachRemoved(duration - 1)
 
+	backwardRemoved := 0
 	for t := duration - 2; t >= 0; t-- {
 		maxS := 0.0
 		for _, n := range g.byTime[t] {
@@ -184,6 +253,7 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 				// below the smallest denormal; either way the node carries
 				// no representable valid mass and is pruned.
 				n.removed = true
+				backwardRemoved++
 				continue
 			}
 			// Condition the outgoing edges (lines 17-19): each is
@@ -204,6 +274,14 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 		g.detachRemoved(t)
 	}
 
+	spBackward.End()
+	if ex != nil {
+		ex.BackwardNanos = time.Since(phaseStart).Nanoseconds()
+		phaseStart = time.Now()
+	}
+	_, spRevise := obs.Start(ctx, "core.revise")
+	defer spRevise.End()
+
 	// Condition the source probabilities (lines 30-31).
 	total := 0.0
 	for _, src := range g.byTime[0] {
@@ -216,8 +294,18 @@ func Build(ls *LSequence, ic *constraints.Set, opts *Options) (*Graph, error) {
 	for _, src := range g.byTime[0] {
 		src.prob /= total
 	}
-	g.scrubOrphans()
+	ghosts := g.scrubOrphans()
 	g.compact()
+	if ex != nil {
+		ex.TargetsCondemned = condemned
+		ex.BackwardRemoved = backwardRemoved
+		ex.GhostsRemoved = ghosts
+		ex.Normalizer = total
+		for t := range g.byTime {
+			ex.Steps[t].NodesFinal = len(g.byTime[t])
+		}
+		ex.ReviseNanos = time.Since(phaseStart).Nanoseconds()
+	}
 	return g, nil
 }
 
@@ -252,8 +340,9 @@ func (g *Graph) detachRemoved(t int) {
 // conditioned probabilities are unaffected; a level can never lose all its
 // nodes here, because that would require the previous level to have been
 // fully removed, which the backward phase already reports as
-// ErrNoValidTrajectory.
-func (g *Graph) scrubOrphans() {
+// ErrNoValidTrajectory. Returns the number of ghosts removed.
+func (g *Graph) scrubOrphans() int {
+	ghosts := 0
 	for t := 1; t < len(g.byTime); t++ {
 		for _, n := range g.byTime[t] {
 			if n.removed {
@@ -268,6 +357,7 @@ func (g *Graph) scrubOrphans() {
 			n.in = alive
 			if len(n.in) == 0 {
 				n.removed = true
+				ghosts++
 				for _, e := range n.out {
 					removeInEdge(e.To, e)
 				}
@@ -275,6 +365,7 @@ func (g *Graph) scrubOrphans() {
 			}
 		}
 	}
+	return ghosts
 }
 
 // compact drops removed nodes from the per-timestamp lists and reassigns the
@@ -379,15 +470,17 @@ func (b *builder) initialStay(loc int) int {
 }
 
 // successorKey computes the identity of the unique successor node of n at
-// location loc per Definition 3, or ok=false when no such successor exists
-// (some constraint would be violated). The successor's TL is assembled in
-// the builder's scratch slice and interned, so checking a candidate that
-// deduplicates onto an existing node allocates nothing.
-func (b *builder) successorKey(n *Node, loc int) (nodeKey, bool) {
+// location loc per Definition 3. The returned pruneReason is pruneNone on
+// success; otherwise it names the constraint family that ruled the successor
+// out, so Build can attribute prunes per constraint kind in explain reports.
+// The successor's TL is assembled in the builder's scratch slice and
+// interned, so checking a candidate that deduplicates onto an existing node
+// allocates nothing.
+func (b *builder) successorKey(n *Node, loc int) (nodeKey, pruneReason) {
 	t2 := n.Time + 1
 	// Condition 2: direct reachability.
 	if b.cs.Unreachable(n.Loc, loc) {
-		return nodeKey{}, false
+		return nodeKey{}, pruneDU
 	}
 	if loc == n.Loc {
 		// Condition 3: staying increments a pending stay counter.
@@ -399,22 +492,22 @@ func (b *builder) successorKey(n *Node, loc int) (nodeKey, bool) {
 			}
 		}
 		id := b.internTL(n.TL, t2, -1, nil)
-		return nodeKey{loc: int32(loc), stay: int32(stay), tl: id}, true
+		return nodeKey{loc: int32(loc), stay: int32(stay), tl: id}, pruneNone
 	}
 	// Condition 4: leaving is allowed only once any latency constraint on
 	// the current location is satisfied (pending counter normalized away).
 	if n.Stay != StayUntracked {
-		return nodeKey{}, false
+		return nodeKey{}, pruneLT
 	}
 	// Condition 5 (extended to cover the direct move, see DESIGN.md §3):
 	// no TT constraint into loc may still bind, neither from a recently
 	// left location in TL nor from the location being left right now.
 	if nu, ok := b.cs.TT(n.Loc, loc); ok && t2-n.Time < nu {
-		return nodeKey{}, false
+		return nodeKey{}, pruneTT
 	}
 	for _, e := range n.TL {
 		if nu, ok := b.cs.TT(e.Loc, loc); ok && t2-e.Time < nu {
-			return nodeKey{}, false
+			return nodeKey{}, pruneTT
 		}
 	}
 	// Condition 6: extend TL with the location being left (when it is the
@@ -425,7 +518,7 @@ func (b *builder) successorKey(n *Node, loc int) (nodeKey, bool) {
 		add = &TLEntry{Time: n.Time, Loc: n.Loc}
 	}
 	id := b.internTL(n.TL, t2, loc, add)
-	return nodeKey{loc: int32(loc), stay: int32(b.initialStay(loc)), tl: id}, true
+	return nodeKey{loc: int32(loc), stay: int32(b.initialStay(loc)), tl: id}, pruneNone
 }
 
 // internTL builds the successor TL in the scratch slice — the entries of tl

@@ -118,8 +118,8 @@ func (f *Filter) Observe(candidates []Candidate) error {
 	order := make([]*filterEntry, 0, len(f.frontier))
 	for _, e := range f.frontier {
 		for _, c := range candidates {
-			key, ok := f.b.successorKey(e.node, c.Loc)
-			if !ok {
+			key, why := f.b.successorKey(e.node, c.Loc)
+			if why != pruneNone {
 				continue
 			}
 			ne, seen := next[key]

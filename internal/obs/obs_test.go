@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := NewTrace("req-1")
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx1, root := Start(ctx, "root")
+	if root == nil {
+		t.Fatal("Start with a trace attached returned a nil span")
+	}
+	_, childA := Start(ctx1, "a")
+	childA.Int("n", 42).Str("kind", "test")
+	childA.End()
+	ctx2, childB := Start(ctx1, "b")
+	_, grand := Start(ctx2, "b.1")
+	grand.End()
+	childB.End()
+	root.End()
+
+	if got := tr.SpanCount(); got != 4 {
+		t.Fatalf("SpanCount = %d, want 4", got)
+	}
+	ex := tr.Export()
+	if ex.ID != "req-1" {
+		t.Fatalf("export ID = %q", ex.ID)
+	}
+	if len(ex.Spans) != 1 || ex.Spans[0].Name != "root" {
+		t.Fatalf("want a single root span, got %+v", ex.Spans)
+	}
+	r := ex.Spans[0]
+	if len(r.Spans) != 2 || r.Spans[0].Name != "a" || r.Spans[1].Name != "b" {
+		t.Fatalf("root children = %+v", r.Spans)
+	}
+	if len(r.Spans[1].Spans) != 1 || r.Spans[1].Spans[0].Name != "b.1" {
+		t.Fatalf("grandchildren = %+v", r.Spans[1].Spans)
+	}
+	a := r.Spans[0]
+	if a.Attrs["n"] != int64(42) || a.Attrs["kind"] != "test" {
+		t.Fatalf("attrs = %+v", a.Attrs)
+	}
+	if a.DurationMicros < 0 || a.StartMicros < 0 {
+		t.Fatalf("negative timings: %+v", a)
+	}
+}
+
+func TestEndTwiceKeepsFirstDuration(t *testing.T) {
+	tr := NewTrace("x")
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := Start(ctx, "s")
+	sp.End()
+	d1 := tr.Export().Spans[0].DurationMicros
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if d2 := tr.Export().Spans[0].DurationMicros; d2 != d1 {
+		t.Fatalf("second End changed duration: %d -> %d", d1, d2)
+	}
+}
+
+// TestNoRecorderZeroAlloc pins the tentpole's hot-path contract: starting,
+// annotating and ending a span on a context with no trace attached must not
+// allocate at all.
+func TestNoRecorderZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := Start(ctx, "core.forward")
+		sp.Int("nodes", 7)
+		sp.Str("phase", "forward")
+		sp.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("no-recorder span path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentSpanRecording exercises many goroutines appending spans to
+// one trace (the batch-clean shape) and is meant to run under -race.
+func TestConcurrentSpanRecording(t *testing.T) {
+	tr := NewTrace("concurrent")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, sp := Start(ctx, "worker")
+				sp.Int("worker", int64(w)).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.SpanCount(); got != 1+workers*perWorker {
+		t.Fatalf("SpanCount = %d, want %d", got, 1+workers*perWorker)
+	}
+	ex := tr.Export()
+	if len(ex.Spans) != 1 || len(ex.Spans[0].Spans) != workers*perWorker {
+		t.Fatalf("export shape wrong: %d roots, %d children", len(ex.Spans), len(ex.Spans[0].Spans))
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", r.Capacity())
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(NewTrace("t" + strconv.Itoa(i)))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Added() != 10 {
+		t.Fatalf("Added = %d, want 10", r.Added())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot holds %d traces, want 4", len(snap))
+	}
+	for i, tr := range snap {
+		want := "t" + strconv.Itoa(9-i) // newest first
+		if tr.ID() != want {
+			t.Fatalf("snap[%d] = %q, want %q", i, tr.ID(), want)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0].ID() != "t9" {
+		t.Fatalf("Snapshot(2) = %v", got)
+	}
+	if tr := r.Find("t7"); tr == nil {
+		t.Fatal("Find(t7) = nil, want the held trace")
+	}
+	if tr := r.Find("t2"); tr != nil {
+		t.Fatal("Find(t2) returned an evicted trace")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(NewTrace(fmt.Sprintf("w%d-%d", w, i)))
+				_ = r.Snapshot(3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Added() != 400 {
+		t.Fatalf("Added = %d, want 400", r.Added())
+	}
+}
+
+func TestNilRecorderAndNilSpanAreNoOps(t *testing.T) {
+	var r *Recorder
+	r.Record(NewTrace("x")) // must not panic
+	if r.Snapshot(1) != nil || r.Len() != 0 || r.Added() != 0 || r.Capacity() != 0 || r.Find("x") != nil {
+		t.Fatal("nil recorder should report empty")
+	}
+	var sp *Span
+	sp.End()
+	sp.Int("k", 1)
+	sp.Str("k", "v") // must not panic
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// BenchmarkStartNoRecorder measures the permanent instrumentation cost paid
+// by every Build when no recorder is attached.
+func BenchmarkStartNoRecorder(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, sp := Start(ctx, "core.forward")
+		sp.Int("nodes", int64(i))
+		sp.End()
+		_ = c
+	}
+}

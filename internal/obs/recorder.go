@@ -1,0 +1,105 @@
+package obs
+
+import "sync"
+
+// DefaultRecorderCapacity is the trace ring size used when NewRecorder is
+// given a non-positive capacity.
+const DefaultRecorderCapacity = 256
+
+// Recorder keeps the most recent completed traces in a fixed-size ring.
+// Recording past the capacity overwrites the oldest trace, so memory stays
+// bounded under any request rate. A nil *Recorder is valid and drops
+// everything.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int    // ring slot the next Record writes
+	count int    // traces currently held (<= len(ring))
+	added uint64 // traces ever recorded
+}
+
+// NewRecorder returns a recorder holding up to capacity traces
+// (DefaultRecorderCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{ring: make([]*Trace, capacity)}
+}
+
+// Record adds a completed trace, evicting the oldest when full.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+	r.added++
+	r.mu.Unlock()
+}
+
+// Snapshot returns up to limit traces, newest first (all held traces when
+// limit <= 0).
+func (r *Recorder) Snapshot(limit int) []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.ring[(r.next-i+len(r.ring))%len(r.ring)])
+	}
+	return out
+}
+
+// Find returns the most recent held trace with the given ID, or nil.
+func (r *Recorder) Find(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.count; i++ {
+		if t := r.ring[(r.next-i+len(r.ring))%len(r.ring)]; t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Len returns how many traces the recorder currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Added returns how many traces have ever been recorded (held + evicted).
+func (r *Recorder) Added() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}
+
+// Capacity returns the ring size.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}

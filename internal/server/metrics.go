@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	rfidclean "repro"
 )
 
 // This file is a minimal, stdlib-only metrics registry for the query head.
@@ -22,6 +25,7 @@ import (
 type counter struct{ n atomic.Uint64 }
 
 func (c *counter) inc()          { c.n.Add(1) }
+func (c *counter) add(d uint64)  { c.n.Add(d) }
 func (c *counter) value() uint64 { return c.n.Load() }
 
 // gauge is a metric that can go up and down.
@@ -43,7 +47,9 @@ func newLabeled(labels ...string) *labeled {
 	return &labeled{labels: labels, vals: make(map[string]*counter)}
 }
 
-func (l *labeled) inc(values ...string) {
+func (l *labeled) inc(values ...string) { l.add(1, values...) }
+
+func (l *labeled) add(d uint64, values ...string) {
 	if len(values) != len(l.labels) {
 		panic("server: labeled counter arity mismatch")
 	}
@@ -55,7 +61,7 @@ func (l *labeled) inc(values ...string) {
 		l.vals[key] = c
 	}
 	l.mu.Unlock()
-	c.inc()
+	c.add(d)
 }
 
 // get returns the current count for one label-value combination (testing and
@@ -93,6 +99,38 @@ func (h *histogram) observe(v float64) {
 	h.mu.Unlock()
 }
 
+// labeledHistogram fans a histogram out over the values of a single label
+// (e.g. {phase}); every series shares one bound list.
+type labeledHistogram struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	vals   map[string]*histogram
+}
+
+func newLabeledHistogram(label string, bounds ...float64) *labeledHistogram {
+	return &labeledHistogram{label: label, bounds: bounds, vals: make(map[string]*histogram)}
+}
+
+func (lh *labeledHistogram) observe(value string, v float64) {
+	lh.mu.Lock()
+	h := lh.vals[value]
+	if h == nil {
+		h = newHistogram(lh.bounds...)
+		lh.vals[value] = h
+	}
+	lh.mu.Unlock()
+	h.observe(v)
+}
+
+// series returns the histogram of one label value (testing; nil when the
+// series has never been observed).
+func (lh *labeledHistogram) series(value string) *histogram {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	return lh.vals[value]
+}
+
 // metrics is the server's registry. All fields are safe for concurrent use.
 type metrics struct {
 	// Request counters.
@@ -107,6 +145,11 @@ type metrics struct {
 	// Latency and size distributions.
 	cleanSeconds *histogram
 	graphBytes   *histogram
+
+	// Cleaning explain aggregates: where clean time goes, phase by phase,
+	// and how many candidate successors each constraint family pruned.
+	phaseSeconds     *labeledHistogram // {phase: derive|compile|forward|backward|revise}
+	prunedCandidates *labeled          // {constraint: DU|LT|TT}
 
 	// Trajectory store.
 	storeBytes     gauge
@@ -137,11 +180,31 @@ func newMetrics() *metrics {
 		graphBytes: newHistogram(
 			1<<10, 4<<10, 16<<10, 64<<10, 256<<10, 1<<20, 4<<20, 16<<20,
 		),
-		streamReadings: newLabeled("outcome"),
+		phaseSeconds: newLabeledHistogram("phase",
+			0.00001, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1, 5,
+		),
+		prunedCandidates: newLabeled("constraint"),
+		streamReadings:   newLabeled("outcome"),
 		observeSeconds: newHistogram(
 			0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1,
 		),
 	}
+}
+
+// recordExplain folds one clean's explain report into the per-phase latency
+// histograms and the per-constraint prune counters.
+func (m *metrics) recordExplain(ex *rfidclean.Explain) {
+	if ex == nil {
+		return
+	}
+	m.phaseSeconds.observe("derive", float64(ex.DeriveNanos)/1e9)
+	m.phaseSeconds.observe("compile", float64(ex.Build.CompileNanos)/1e9)
+	m.phaseSeconds.observe("forward", float64(ex.Build.ForwardNanos)/1e9)
+	m.phaseSeconds.observe("backward", float64(ex.Build.BackwardNanos)/1e9)
+	m.phaseSeconds.observe("revise", float64(ex.Build.ReviseNanos)/1e9)
+	m.prunedCandidates.add(uint64(ex.Build.PrunedDU), "DU")
+	m.prunedCandidates.add(uint64(ex.Build.PrunedLT), "LT")
+	m.prunedCandidates.add(uint64(ex.Build.PrunedTT), "TT")
 }
 
 // ServeHTTP renders the registry in the Prometheus text format.
@@ -169,6 +232,10 @@ func (m *metrics) writeTo(w io.Writer) {
 		"End-to-end latency of successful clean requests.", m.cleanSeconds)
 	writeHistogram(w, "rfidclean_graph_bytes",
 		"Estimated size of stored conditioned trajectory graphs.", m.graphBytes)
+	writeLabeledHistogram(w, "rfidclean_clean_phase_duration_seconds",
+		"Per-phase latency of cleans (derive, compile, forward, backward, revise).", m.phaseSeconds)
+	writeLabeled(w, "rfidclean_pruned_candidates_total",
+		"Candidate successors pruned by integrity constraints, by constraint family.", m.prunedCandidates)
 	writeGauge(w, "rfidclean_store_bytes",
 		"Estimated bytes of trajectory graphs currently stored.", &m.storeBytes)
 	writeGauge(w, "rfidclean_store_trajectories",
@@ -191,6 +258,24 @@ func (m *metrics) writeTo(w io.Writer) {
 		"POST bodies rejected for exceeding the size limit.", &m.bodyRejections)
 	writeGauge(w, "rfidclean_inflight_requests",
 		"API (/v1/) requests currently being served.", &m.inflight)
+	writeRuntimeGauges(w)
+}
+
+// writeRuntimeGauges samples the Go runtime at scrape time. The series are
+// emitted in sorted name order so scrapes are deterministic and diffable.
+func writeRuntimeGauges(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeHeader(w, "go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %s\n", formatFloat(float64(ms.PauseTotalNs)/1e9))
+	writeHeader(w, "go_gc_runs_total", "Completed GC cycles.", "counter")
+	fmt.Fprintf(w, "go_gc_runs_total %d\n", ms.NumGC)
+	writeHeader(w, "go_gomaxprocs", "Value of GOMAXPROCS.", "gauge")
+	fmt.Fprintf(w, "go_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	writeHeader(w, "go_goroutines", "Number of live goroutines.", "gauge")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	writeHeader(w, "go_heap_alloc_bytes", "Bytes of allocated heap objects.", "gauge")
+	fmt.Fprintf(w, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
 }
 
 func writeHeader(w io.Writer, name, help, typ string) {
@@ -228,17 +313,50 @@ func writeLabeled(w io.Writer, name, help string, l *labeled) {
 
 func writeHistogram(w io.Writer, name, help string, h *histogram) {
 	writeHeader(w, name, help, "histogram")
+	writeHistogramSeries(w, name, "", h)
+}
+
+// writeHistogramSeries emits one histogram's buckets/sum/count; extraLabel
+// ('phase="forward"') is prepended to each bucket's label set when non-empty.
+func writeHistogramSeries(w io.Writer, name, extraLabel string, h *histogram) {
+	sep := ""
+	if extraLabel != "" {
+		sep = ","
+	}
 	h.mu.Lock()
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, extraLabel, sep, formatFloat(b), cum)
 	}
 	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabel, sep, cum)
+	if extraLabel != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, extraLabel, formatFloat(h.sum))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, extraLabel, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	}
 	h.mu.Unlock()
+}
+
+func writeLabeledHistogram(w io.Writer, name, help string, lh *labeledHistogram) {
+	writeHeader(w, name, help, "histogram")
+	lh.mu.Lock()
+	keys := make([]string, 0, len(lh.vals))
+	for k := range lh.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]*histogram, len(keys))
+	for i, k := range keys {
+		series[i] = lh.vals[k]
+	}
+	lh.mu.Unlock()
+	for i, k := range keys {
+		writeHistogramSeries(w, name, fmt.Sprintf("%s=%q", lh.label, k), series[i])
+	}
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

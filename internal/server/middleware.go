@@ -1,0 +1,137 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/obs"
+)
+
+// statusWriter captures the status code written by a handler so the access
+// log and trace can report it. Unwrap lets http.ResponseController reach the
+// underlying writer (flush, deadlines).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// ServeHTTP implements http.Handler. Every request gets a request ID (echoed
+// from the client's X-Request-ID or generated) that appears on the response,
+// in error bodies, and in the access log; /v1/ requests additionally record
+// a span trace addressable by that ID at /debug/traces.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	// Setting the response header before dispatch lets every write site
+	// (including writeError deep in handlers) read the ID back off the
+	// header map without threading it through call signatures.
+	w.Header().Set("X-Request-ID", reqID)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+
+	api := strings.HasPrefix(r.URL.Path, "/v1/")
+	if api {
+		s.metrics.inflight.add(1)
+		defer s.metrics.inflight.add(-1)
+	}
+	var tr *obs.Trace
+	if api && s.recorder != nil {
+		tr = obs.NewTrace(reqID)
+		ctx, root := obs.Start(obs.WithTrace(r.Context(), tr), "http.request")
+		root.Str("method", r.Method).Str("path", r.URL.Path)
+		r = r.WithContext(ctx)
+		defer func() {
+			root.Int("status", int64(sw.status))
+			root.End()
+			s.recorder.Record(tr)
+		}()
+	}
+	defer func() {
+		// Probe endpoints are scraped constantly; keep them out of the
+		// Info-level log.
+		level := slog.LevelInfo
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			level = slog.LevelDebug
+		}
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.String("requestId", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(start)),
+		)
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// debugTracesResponse is the GET /debug/traces body.
+type debugTracesResponse struct {
+	// Capacity is the trace ring size; Recorded counts traces ever recorded
+	// (held + evicted).
+	Capacity int    `json:"capacity"`
+	Recorded uint64 `json:"recorded"`
+	// Traces are the requested span trees, newest first.
+	Traces []obs.TraceExport `json:"traces"`
+}
+
+// handleDebugTraces serves recent request traces: all held traces newest
+// first, ?limit=N to cap the count, ?id=<request id> to fetch one.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if s.recorder == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled (negative trace buffer)")
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		tr := s.recorder.Find(id)
+		if tr == nil {
+			writeError(w, http.StatusNotFound, "no recorded trace for request id %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, tr.Export())
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		var err error
+		if limit, err = strconv.Atoi(q); err != nil || limit < 1 {
+			writeError(w, http.StatusBadRequest, "invalid ?limit=")
+			return
+		}
+	}
+	held := s.recorder.Snapshot(limit)
+	out := debugTracesResponse{
+		Capacity: s.recorder.Capacity(),
+		Recorded: s.recorder.Added(),
+		Traces:   make([]obs.TraceExport, len(held)),
+	}
+	for i, tr := range held {
+		out.Traces[i] = tr.Export()
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -18,20 +18,31 @@
 //	GET    /v1/trajectories/{id}/match?pattern=...  trajectory query
 //	GET    /v1/trajectories/{id}/top?k=N   k most probable trajectories
 //	GET    /v1/trajectories/{id}/occupancy expected seconds per location
+//	GET    /v1/trajectories/{id}/explain   cleaning explain report
 //	DELETE /v1/trajectories/{id}           evict a cleaned graph
 //	GET    /healthz                        liveness + store occupancy
 //	GET    /metrics                        Prometheus text metrics
+//	GET    /debug/traces                   recent request span trees
 //
 // The server keeps everything in memory; it is a query head, not a durable
 // store. Constraint inference is memoized per deployment (keyed by the
 // clean parameters), POST bodies are size-limited, and the trajectory store
 // can run under a byte budget with least-recently-queried eviction.
+//
+// Observability: every response carries an X-Request-ID (echoed or
+// generated), each /v1/ request records a span trace addressable by that ID
+// at /debug/traces, access lines go to the configured slog logger, and every
+// server-side clean collects an explain report that feeds the explain
+// endpoint plus the per-phase latency histograms and per-constraint prune
+// counters on /metrics.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -39,7 +50,10 @@ import (
 	"sync"
 	"time"
 
+	"log/slog"
+
 	rfidclean "repro"
+	"repro/internal/obs"
 )
 
 // Server is the HTTP query head. Create one with New and mount it as an
@@ -56,6 +70,8 @@ type Server struct {
 	store    *trajStore
 	sessions *sessionStore
 	metrics  *metrics
+	logger   *slog.Logger
+	recorder *obs.Recorder // nil when tracing is disabled
 	mux      *http.ServeMux
 }
 
@@ -86,6 +102,13 @@ type Options struct {
 	// MaxSessionReadings caps the readings a session buffers for offline
 	// smoothing. Zero uses the default (65536); negative removes the cap.
 	MaxSessionReadings int
+	// Logger receives structured access logs and server events. Nil
+	// discards them.
+	Logger *slog.Logger
+	// TraceBuffer is how many recent request traces GET /debug/traces can
+	// serve (the span-tree ring size). Zero uses the default
+	// (obs.DefaultRecorderCapacity); negative disables tracing entirely.
+	TraceBuffer int
 }
 
 // DefaultMaxBodyBytes is the POST body cap applied when Options.MaxBodyBytes
@@ -114,6 +137,14 @@ func NewWithOptions(opts Options) *Server {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	var recorder *obs.Recorder
+	if opts.TraceBuffer >= 0 {
+		recorder = obs.NewRecorder(opts.TraceBuffer)
+	}
 	m := newMetrics()
 	s := &Server{
 		deployments:  make(map[string]*deployment),
@@ -123,6 +154,8 @@ func NewWithOptions(opts Options) *Server {
 		store:        newTrajStore(opts.MaxStoreBytes, m),
 		sessions:     newSessionStore(opts, m),
 		metrics:      m,
+		logger:       logger,
+		recorder:     recorder,
 		mux:          http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/deployments", s.handleDeployments)
@@ -132,6 +165,7 @@ func NewWithOptions(opts Options) *Server {
 	s.mux.HandleFunc("/v1/stream/", s.handleStream)
 	s.mux.HandleFunc("/v1/trajectories/", s.handleTrajectory)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	s.mux.Handle("/metrics", m)
 	return s
 }
@@ -145,18 +179,12 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasPrefix(r.URL.Path, "/v1/") {
-		s.metrics.inflight.add(1)
-		defer s.metrics.inflight.add(-1)
-	}
-	s.mux.ServeHTTP(w, r)
-}
-
 // apiError is the uniform error body.
 type apiError struct {
 	Error string `json:"error"`
+	// RequestID echoes the response's X-Request-ID so a client holding only
+	// the body can still quote the failing request to /debug/traces.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -166,7 +194,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiError{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }
 
 // limitBody applies the configured POST body cap.
@@ -264,15 +295,19 @@ func (s *Server) lookupDeployment(id string) *deployment {
 
 // constraints resolves the constraint set for a clean request through the
 // deployment's cache, recording the hit/miss.
-func (s *Server) constraints(dep *deployment, p rfidclean.ConstraintParams) (*rfidclean.ConstraintSet, error) {
+func (s *Server) constraints(ctx context.Context, dep *deployment, p rfidclean.ConstraintParams) (*rfidclean.ConstraintSet, error) {
+	_, sp := obs.Start(ctx, "constraints.lookup")
 	ic, err, hit := dep.cache.get(p, func() (*rfidclean.ConstraintSet, error) {
 		return dep.sys.Constraints(p)
 	})
 	if hit {
 		s.metrics.cacheHits.inc()
+		sp.Str("cache", "hit")
 	} else {
 		s.metrics.cacheMisses.inc()
+		sp.Str("cache", "miss")
 	}
+	sp.End()
 	return ic, err
 }
 
@@ -332,7 +367,8 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "maxSpeed must be positive")
 		return
 	}
-	ic, err := s.constraints(dep, rfidclean.ConstraintParams{
+	ctx := r.Context()
+	ic, err := s.constraints(ctx, dep, rfidclean.ConstraintParams{
 		MaxSpeed: req.MaxSpeed, MinStay: req.MinStay, TTCap: req.TTCap,
 	})
 	if err != nil {
@@ -340,13 +376,16 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
 		return
 	}
-	opts := &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd)}
+	// Explain reports are always collected on server cleans: they feed the
+	// per-phase/per-constraint metrics and the explain endpoint, and cost a
+	// few hundred bytes next to the graph itself.
+	opts := &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd), Explain: &rfidclean.BuildExplain{}}
 	var cleaned *rfidclean.Cleaned
 	if mode == "group" {
 		group := append([]rfidclean.ReadingSequence{req.Readings}, req.Group...)
-		cleaned, err = dep.sys.CleanGroup(group, ic, opts)
+		cleaned, err = dep.sys.CleanGroupCtx(ctx, group, ic, opts)
 	} else {
-		cleaned, err = dep.sys.Clean(req.Readings, ic, opts)
+		cleaned, err = dep.sys.CleanCtx(ctx, req.Readings, ic, opts)
 	}
 	switch {
 	case errors.Is(err, rfidclean.ErrNoValidTrajectory):
@@ -358,7 +397,10 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "cleaning failed: %v", err)
 		return
 	}
+	s.metrics.recordExplain(cleaned.Explain())
+	_, sp := obs.Start(ctx, "store.add")
 	id := s.store.add(dep.id, cleaned)
+	sp.End()
 	st := cleaned.Stats()
 	outcome = "ok"
 	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())
@@ -430,7 +472,8 @@ func (s *Server) handleCleanBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "sequences must be non-empty")
 		return
 	}
-	ic, err := s.constraints(dep, rfidclean.ConstraintParams{
+	ctx := r.Context()
+	ic, err := s.constraints(ctx, dep, rfidclean.ConstraintParams{
 		MaxSpeed: req.MaxSpeed, MinStay: req.MinStay, TTCap: req.TTCap,
 	})
 	if err != nil {
@@ -438,14 +481,19 @@ func (s *Server) handleCleanBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
 		return
 	}
+	// CleanAll clones these options per slot (fresh Explain each), so the
+	// concurrent workers never share a report; their spans all record into
+	// this request's trace, which is safe for concurrent use.
 	cleaned, errs := dep.sys.CleanAll(req.Sequences, ic, &rfidclean.BatchOptions{
-		Build:   &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd)},
+		Build:   &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd), Explain: &rfidclean.BuildExplain{}},
 		Workers: s.workers,
-		Context: r.Context(), // a vanished client stops burning CPU on unstarted slots
+		Context: ctx, // a vanished client stops burning CPU on unstarted slots
 	})
 	// Allocate all ids in one critical section so a batch's ids are
 	// consecutive and never interleave with concurrent single cleans.
+	_, sp := obs.Start(ctx, "store.add")
 	ids := s.store.addBatch(dep.id, cleaned)
+	sp.End()
 	out := make([]BatchCleanResult, len(req.Sequences))
 	for i := range req.Sequences {
 		if errs[i] != nil {
@@ -454,6 +502,7 @@ func (s *Server) handleCleanBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.metrics.batchSlots.inc("ok")
+		s.metrics.recordExplain(cleaned[i].Explain())
 		st := cleaned[i].Stats()
 		s.metrics.graphBytes.observe(float64(st.Bytes))
 		out[i] = BatchCleanResult{ID: ids[i], Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes}
@@ -491,18 +540,22 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch op {
-	case "stay":
-		s.metrics.queryOps.inc("stay")
-		s.handleStay(w, r, traj)
-	case "match":
-		s.metrics.queryOps.inc("match")
-		s.handleMatch(w, r, traj)
-	case "top":
-		s.metrics.queryOps.inc("top")
-		s.handleTop(w, r, traj)
-	case "occupancy":
-		s.metrics.queryOps.inc("occupancy")
-		s.handleOccupancy(w, traj)
+	case "stay", "match", "top", "occupancy", "explain":
+		s.metrics.queryOps.inc(op)
+		_, sp := obs.Start(r.Context(), "query."+op)
+		switch op {
+		case "stay":
+			s.handleStay(w, r, traj)
+		case "match":
+			s.handleMatch(w, r, traj)
+		case "top":
+			s.handleTop(w, r, traj)
+		case "occupancy":
+			s.handleOccupancy(w, traj)
+		case "explain":
+			s.handleExplain(w, traj)
+		}
+		sp.End()
 	case "":
 		s.metrics.queryOps.inc("stats")
 		st := traj.cleaned.Stats()
@@ -510,6 +563,34 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusNotFound, "unknown operation %q", op)
 	}
+}
+
+// ExplainResponse is the GET /v1/trajectories/{id}/explain body: the cleaning
+// explain report collected when the trajectory was cleaned, labeled with the
+// graph it produced.
+type ExplainResponse struct {
+	ID         string `json:"id"`
+	Deployment string `json:"deployment"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	// Explain is the report: per-phase wall times, per-timestamp candidate
+	// counts before/after pruning, per-constraint prune counters, removal
+	// tallies and the conditioning normalizer.
+	Explain *rfidclean.Explain `json:"explain"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, traj *trajectory) {
+	ex := traj.cleaned.Explain()
+	if ex == nil {
+		writeError(w, http.StatusNotFound, "trajectory %q has no explain report", traj.id)
+		return
+	}
+	st := traj.cleaned.Stats()
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		ID: traj.id, Deployment: traj.depID,
+		Nodes: st.Nodes, Edges: st.Edges,
+		Explain: ex,
+	})
 }
 
 // handleHealthz reports liveness plus store occupancy, cheap enough for a

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	rfidclean "repro"
+	"repro/internal/obs"
 )
 
 // This file implements streaming ingestion sessions — the live-tracking
@@ -221,19 +223,23 @@ func (st *sessionStore) reap(now time.Time) int {
 }
 
 // close stops the reaper (waiting for it to exit) and drops every session.
-// It is idempotent.
+// It is idempotent: only the first call closes the stop channel (a second
+// close would panic), and every call — not just the first — waits until the
+// reaper goroutine has actually exited, so any caller returning from close
+// may rely on the reaper being gone.
 func (st *sessionStore) close() {
 	st.mu.Lock()
-	if st.closed {
-		st.mu.Unlock()
-		return
-	}
+	first := !st.closed
 	st.closed = true
 	reaping := st.reaping
-	st.sessions = make(map[string]*streamSession)
-	st.m.streamSessions.set(0)
+	if first {
+		st.sessions = make(map[string]*streamSession)
+		st.m.streamSessions.set(0)
+	}
 	st.mu.Unlock()
-	close(st.stop)
+	if first {
+		close(st.stop)
+	}
 	if reaping {
 		<-st.done
 	}
@@ -307,7 +313,7 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	prms := rfidclean.ConstraintParams{MaxSpeed: req.MaxSpeed, MinStay: req.MinStay, TTCap: req.TTCap}
-	ic, err := s.constraints(dep, prms)
+	ic, err := s.constraints(r.Context(), dep, prms)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
 		return
@@ -379,6 +385,9 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 		writeError(w, http.StatusBadRequest, "readings must be non-empty")
 		return
 	}
+	_, sp := obs.Start(r.Context(), "stream.observe")
+	defer sp.End()
+	sp.Int("readings", int64(len(req.Readings)))
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	defer sess.touch()
@@ -470,7 +479,7 @@ func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request, sess
 // smoothLocked re-cleans the buffered sequence offline (LenientEnd, so the
 // final timestamp agrees with the filtered answer) and stores the ct-graph
 // in the trajectory store. The caller holds sess.mu.
-func (s *Server) smoothLocked(sess *streamSession) (CleanResponse, int, error) {
+func (s *Server) smoothLocked(ctx context.Context, sess *streamSession) (CleanResponse, int, error) {
 	if len(sess.readings) == 0 {
 		return CleanResponse{}, http.StatusUnprocessableEntity,
 			errors.New("session has no readings to smooth")
@@ -478,19 +487,23 @@ func (s *Server) smoothLocked(sess *streamSession) (CleanResponse, int, error) {
 	start := time.Now()
 	outcome := "error"
 	defer func() { s.metrics.cleanRequests.inc("stream", outcome) }()
-	ic, err := s.constraints(sess.dep, sess.prms)
+	ic, err := s.constraints(ctx, sess.dep, sess.prms)
 	if err != nil {
 		return CleanResponse{}, http.StatusInternalServerError, err
 	}
-	cleaned, err := sess.dep.sys.Clean(sess.readings, ic, &rfidclean.BuildOptions{
+	cleaned, err := sess.dep.sys.CleanCtx(ctx, sess.readings, ic, &rfidclean.BuildOptions{
 		EndLatency: rfidclean.LenientEnd,
+		Explain:    &rfidclean.BuildExplain{},
 	})
 	if err != nil {
 		// The filter accepted this prefix, so the exact build can only fail
 		// on internal errors, not on constraint violations.
 		return CleanResponse{}, http.StatusInternalServerError, err
 	}
+	s.metrics.recordExplain(cleaned.Explain())
+	_, sp := obs.Start(ctx, "store.add")
 	id := s.store.add(sess.dep.id, cleaned)
+	sp.End()
 	st := cleaned.Stats()
 	outcome = "ok"
 	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())
@@ -504,7 +517,7 @@ func (s *Server) handleStreamSmooth(w http.ResponseWriter, r *http.Request, sess
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.touch()
-	resp, status, err := s.smoothLocked(sess)
+	resp, status, err := s.smoothLocked(r.Context(), sess)
 	if err != nil {
 		writeError(w, status, "smoothing failed: %v", err)
 		return
@@ -538,7 +551,7 @@ func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request, sess 
 	defer sess.mu.Unlock()
 	out := StreamCloseResponse{Closed: sess.id}
 	if smooth && len(sess.readings) > 0 {
-		resp, status, err := s.smoothLocked(sess)
+		resp, status, err := s.smoothLocked(r.Context(), sess)
 		if err != nil {
 			writeError(w, status, "session closed, but final smoothing failed: %v", err)
 			return

@@ -1,7 +1,9 @@
 package rfidclean
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"fmt"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/prior"
 	"repro/internal/query"
 	"repro/internal/rfid"
@@ -166,6 +169,11 @@ type (
 	CTNode = core.Node
 	// BuildOptions configures ct-graph construction.
 	BuildOptions = core.Options
+	// BuildExplain is Algorithm 1's explain report (attach one to
+	// BuildOptions.Explain to collect it).
+	BuildExplain = core.BuildExplain
+	// ExplainStep is one timestamp's entry of a BuildExplain.
+	ExplainStep = core.ExplainStep
 	// OracleResult is the brute-force conditioning baseline's output.
 	OracleResult = core.OracleResult
 )
@@ -344,18 +352,30 @@ func (s *System) InferConstraints(maxSpeed float64, minStay, ttCap int) (*Constr
 // then equals the prior). It returns ErrNoValidTrajectory when the
 // constraints exclude every interpretation of the readings.
 func (s *System) Clean(readings ReadingSequence, ic *ConstraintSet, opts *BuildOptions) (*Cleaned, error) {
+	return s.CleanCtx(context.Background(), readings, ic, opts)
+}
+
+// CleanCtx is Clean with observability: when ctx carries an obs.Trace the
+// prior derivation and the build phases record spans into it, and when
+// opts.Explain is set the returned Cleaned carries an explain report
+// (Cleaned.Explain). With neither attached it does the same work as Clean.
+func (s *System) CleanCtx(ctx context.Context, readings ReadingSequence, ic *ConstraintSet, opts *BuildOptions) (*Cleaned, error) {
 	if s.Prior == nil {
 		return nil, fmt.Errorf("rfidclean: no prior; call CalibratePrior or SetPrior first")
 	}
+	_, sp := obs.Start(ctx, "prior.lsequence")
+	deriveStart := time.Now()
 	ls, err := s.Prior.LSequence(readings)
+	derive := time.Since(deriveStart)
+	sp.Int("timestamps", int64(len(readings))).End()
 	if err != nil {
 		return nil, err
 	}
-	g, err := core.Build(ls, ic, opts)
+	g, err := core.BuildCtx(ctx, ls, ic, opts)
 	if err != nil {
 		return nil, err
 	}
-	return newCleaned(g, s.Plan), nil
+	return newCleanedExplained(g, s.Plan, opts, derive), nil
 }
 
 // CleanGroup cleans the readings of several tags known to move together
@@ -365,18 +385,27 @@ func (s *System) Clean(readings ReadingSequence, ic *ConstraintSet, opts *BuildO
 // conditioned like a single object's. All sequences must cover the same
 // window.
 func (s *System) CleanGroup(readings []ReadingSequence, ic *ConstraintSet, opts *BuildOptions) (*Cleaned, error) {
+	return s.CleanGroupCtx(context.Background(), readings, ic, opts)
+}
+
+// CleanGroupCtx is CleanGroup with observability; see CleanCtx.
+func (s *System) CleanGroupCtx(ctx context.Context, readings []ReadingSequence, ic *ConstraintSet, opts *BuildOptions) (*Cleaned, error) {
 	if s.Prior == nil {
 		return nil, fmt.Errorf("rfidclean: no prior; call CalibratePrior or SetPrior first")
 	}
+	_, sp := obs.Start(ctx, "prior.lsequence")
+	deriveStart := time.Now()
 	ls, err := s.Prior.GroupLSequence(readings)
+	derive := time.Since(deriveStart)
+	sp.Int("members", int64(len(readings))).End()
 	if err != nil {
 		return nil, err
 	}
-	g, err := core.Build(ls, ic, opts)
+	g, err := core.BuildCtx(ctx, ls, ic, opts)
 	if err != nil {
 		return nil, err
 	}
-	return newCleaned(g, s.Plan), nil
+	return newCleanedExplained(g, s.Plan, opts, derive), nil
 }
 
 // Candidates converts one reading's detecting-reader set into the candidate
