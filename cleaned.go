@@ -1,6 +1,8 @@
 package rfidclean
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -9,6 +11,8 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/query"
 )
+
+var errDecodeNoPlan = errors.New("rfidclean: DecodeCleaned needs a plan")
 
 // Cleaned is the result of cleaning one reading sequence: the conditioned
 // trajectory graph plus a query engine over it. All probabilities it reports
@@ -170,8 +174,32 @@ func (c *Cleaned) ExpectedOccupancy() ([]float64, error) {
 }
 
 // Encode writes the conditioned trajectory graph as JSON; reload it with
-// DecodeCTGraph.
+// DecodeCTGraph, or with DecodeCleaned to get a queryable Cleaned back. The
+// output is deterministic for a given graph (nodes level by level in index
+// order, fixed field order, shortest round-trip float encoding), so
+// re-encoding a decoded graph reproduces the same bytes — the property the
+// server's persistence layer relies on for stable snapshots.
 func (c *Cleaned) Encode(w io.Writer) error { return c.graph.Encode(w) }
+
+// DecodeCleaned reads a ct-graph written by Encode and rehydrates a
+// queryable Cleaned against the plan it was cleaned under. The graph's
+// location IDs are validated against the plan, so a snapshot restored
+// against the wrong deployment fails loudly instead of answering queries
+// with unknown locations. Explain reports are not part of the serialized
+// form; Explain returns nil on a decoded Cleaned.
+func DecodeCleaned(r io.Reader, plan *Plan) (*Cleaned, error) {
+	if plan == nil {
+		return nil, errDecodeNoPlan
+	}
+	g, err := core.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.Marginals(plan.NumLocations()); err != nil {
+		return nil, fmt.Errorf("rfidclean: decoded graph does not fit the plan: %w", err)
+	}
+	return newCleaned(g, plan), nil
+}
 
 // Event is a maximal run of timestamps sharing the same most probable
 // location — the cleaned data segmented into human-readable stays.

@@ -32,6 +32,12 @@
 // -session-ttl bounds how long an idle session lives, and
 // -max-session-readings caps each session's smoothing buffer.
 //
+// With -data-dir the daemon is durable: deployments and cleaned trajectory
+// graphs are persisted under the directory (snapshot + write-ahead log,
+// compacted every -snapshot-interval) and recovered on the next boot, so a
+// crash — even kill -9 — loses at most the last un-fsynced flush cycle.
+// Without it, everything stays in memory and nothing touches the disk.
+//
 // Observability: every response carries an X-Request-ID (echoed from the
 // request or generated), access lines go to stderr as structured slog
 // records at -log-level verbosity, each /v1/ request records a span trace
@@ -45,6 +51,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -81,6 +88,8 @@ type config struct {
 	drain              time.Duration
 	logLevel           string
 	traceBuffer        int
+	dataDir            string
+	snapshotInterval   time.Duration
 
 	ready chan<- net.Addr // if non-nil, receives the bound listen address
 }
@@ -117,6 +126,8 @@ func main() {
 	flag.DurationVar(&cfg.drain, "drain-timeout", 10*time.Second, "how long to drain in-flight requests on shutdown")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log verbosity: debug, info, warn or error (debug includes /healthz and /metrics access lines)")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "recent request traces kept for GET /debug/traces (0 = default 256, negative disables tracing)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist deployments and trajectories under this directory and recover them on boot (empty = in-memory only)")
+	flag.DurationVar(&cfg.snapshotInterval, "snapshot-interval", 0, "how often the trajectory write-ahead log is compacted into a snapshot (0 = default 1m, negative disables periodic compaction)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -153,7 +164,7 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
-	srv := server.NewWithOptions(server.Options{
+	srv, err := server.Open(server.Options{
 		Workers:            cfg.workers,
 		MaxBodyBytes:       maxBody,
 		MaxStoreBytes:      cfg.maxStoreBytes,
@@ -162,13 +173,25 @@ func run(ctx context.Context, cfg config) error {
 		MaxSessionReadings: maxSessionReadings,
 		Logger:             logger,
 		TraceBuffer:        cfg.traceBuffer,
+		DataDir:            cfg.dataDir,
+		SnapshotInterval:   cfg.snapshotInterval,
 	})
-	defer srv.Close() // stop the session reaper once we stop serving
+	if err != nil {
+		return err
+	}
+	defer srv.Close() // stop the session reaper and drain the WAL writer
+	if cfg.dataDir != "" {
+		log.Printf("durable mode: persisting to %s", cfg.dataDir)
+	}
 	if cfg.demo {
-		if err := preloadSYN1(srv); err != nil {
+		switch id, err := preloadSYN1(srv); {
+		case err != nil:
 			return err
+		case id == "":
+			log.Printf("SYN1 already registered (recovered from -data-dir)")
+		default:
+			log.Printf("preloaded SYN1 as deployment %s", id)
 		}
-		log.Printf("preloaded SYN1 as deployment d1")
 	}
 
 	mux := http.NewServeMux()
@@ -216,12 +239,18 @@ func run(ctx context.Context, cfg config) error {
 }
 
 // preloadSYN1 registers the built-in SYN1 dataset's deployment by posting it
-// through the server's own API (keeping a single registration code path).
-func preloadSYN1(srv *server.Server) error {
+// through the server's own API (keeping a single registration code path). It
+// returns the new deployment's id, or "" when a deployment named SYN1 is
+// already registered — the durable-restart case, where the recovered copy
+// must keep its id so persisted trajectories stay attached to it.
+func preloadSYN1(srv *server.Server) (string, error) {
+	if syn1Registered(srv) {
+		return "", nil
+	}
 	cfg := dataset.SYN1()
 	d, err := dataset.Build("SYN1", cfg)
 	if err != nil {
-		return err
+		return "", err
 	}
 	dep := &rfidclean.Deployment{
 		Name:               "SYN1",
@@ -234,15 +263,41 @@ func preloadSYN1(srv *server.Server) error {
 	}
 	var buf bytes.Buffer
 	if err := dep.Encode(&buf); err != nil {
-		return err
+		return "", err
 	}
 	req := httptest.NewRequest(http.MethodPost, "/v1/deployments", &buf)
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusCreated {
-		return bytesError(rec.Body.Bytes())
+		return "", bytesError(rec.Body.Bytes())
 	}
-	return nil
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		return "", err
+	}
+	return created.ID, nil
+}
+
+// syn1Registered asks the server's own listing whether a deployment named
+// SYN1 already exists.
+func syn1Registered(srv *server.Server) bool {
+	req := httptest.NewRequest(http.MethodGet, "/v1/deployments", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var rows []struct {
+		Name string `json:"name"`
+	}
+	if rec.Code != http.StatusOK || json.Unmarshal(rec.Body.Bytes(), &rows) != nil {
+		return false
+	}
+	for _, r := range rows {
+		if r.Name == "SYN1" {
+			return true
+		}
+	}
+	return false
 }
 
 type bytesError []byte

@@ -286,3 +286,151 @@ func TestPprofMount(t *testing.T) {
 		t.Fatalf("run returned %v", err)
 	}
 }
+
+// bootDaemon starts run() with the given config on an ephemeral port and
+// returns the base URL, the cancel that triggers shutdown, and run's error
+// channel.
+func bootDaemon(t *testing.T, cfg config) (base string, shutdown context.CancelFunc, runErr chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	runErr = make(chan error, 1)
+	cfg.addr = "127.0.0.1:0"
+	if cfg.drain == 0 {
+		cfg.drain = 10 * time.Second
+	}
+	cfg.ready = ready
+	go func() { runErr <- run(ctx, cfg) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), cancel, runErr
+	case err := <-runErr:
+		cancel()
+		t.Fatalf("run exited early: %v", err)
+		return "", nil, nil
+	}
+}
+
+func stopDaemon(t *testing.T, shutdown context.CancelFunc, runErr chan error) {
+	t.Helper()
+	shutdown()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after shutdown")
+	}
+}
+
+// TestRunDurableRestart: the daemon-level recovery loop. Boot with -data-dir
+// and -demo, clean a trajectory against the preloaded SYN1 deployment, shut
+// down, boot the same directory again — the deployment keeps its id (-demo
+// must not re-register it), the trajectory still answers queries with the
+// same bytes, and new ids do not collide.
+func TestRunDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, shutdown, runErr := bootDaemon(t, config{demo: true, dataDir: dir})
+
+	dep, sys := smallDeployment(t)
+	var buf bytes.Buffer
+	if err := dep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/deployments", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if created["id"] != "d2" {
+		t.Fatalf("second deployment id = %s, want d2 (SYN1 is d1)", created["id"])
+	}
+
+	rng := rfidclean.NewRNG(13)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(60), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := rfidclean.GenerateReadings(truth, sys.Truth, rng)
+	body, err := json.Marshal(server.CleanRequest{
+		Deployment: "d2", Readings: readings, MaxSpeed: 2, MinStay: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/clean", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleaned server.CleanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cleaned); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("clean status = %d", resp.StatusCode)
+	}
+
+	stayURL := fmt.Sprintf("/v1/trajectories/%s/stay?t=30", cleaned.ID)
+	resp, err = http.Get(base + stayURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	_, _ = before.ReadFrom(resp.Body)
+	resp.Body.Close()
+
+	stopDaemon(t, shutdown, runErr)
+
+	base2, shutdown2, runErr2 := bootDaemon(t, config{demo: true, dataDir: dir})
+	defer stopDaemon(t, shutdown2, runErr2)
+
+	resp, err = http.Get(base2 + "/v1/deployments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rows) != 2 || rows[0].ID != "d1" || rows[0].Name != "SYN1" || rows[1].ID != "d2" {
+		t.Fatalf("recovered deployments = %+v, want SYN1 as d1 plus d2 (no -demo duplicate)", rows)
+	}
+
+	resp, err = http.Get(base2 + stayURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	_, _ = after.ReadFrom(resp.Body)
+	code := resp.StatusCode
+	resp.Body.Close()
+	if code != http.StatusOK {
+		t.Fatalf("recovered trajectory query status = %d", code)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("stay answer changed across restart:\n  before: %s\n  after:  %s", before.Bytes(), after.Bytes())
+	}
+
+	resp, err = http.Post(base2+"/v1/clean", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again server.CleanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if again.ID == cleaned.ID {
+		t.Fatalf("fresh trajectory reused recovered id %s", again.ID)
+	}
+}

@@ -64,6 +64,19 @@ func (d *Deployment) Encode(w io.Writer) error {
 	})
 }
 
+// EncodeBytes returns Encode's output as a trimmed byte slice, convenient
+// for embedding a deployment as a JSON value (json.RawMessage) inside a
+// larger document. The encoding is deterministic for a given deployment, so
+// re-encoding a decoded deployment reproduces the same bytes — the property
+// the server's persistence layer relies on for stable snapshot files.
+func (d *Deployment) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return bytes.TrimSpace(buf.Bytes()), nil
+}
+
 // DecodeDeployment reads a deployment written by Encode (or hand-authored).
 func DecodeDeployment(r io.Reader) (*Deployment, error) {
 	var in deploymentJSON

@@ -1,0 +1,285 @@
+// Package persist is the stdlib-only durability layer under the query head:
+// length-prefixed, checksummed record logs with prefix-tolerant replay, and
+// atomic whole-file rewrites (temp file + rename, fsync'd) for snapshots.
+//
+// The formats favor recoverability over density. A log is a flat sequence of
+// frames — 4-byte little-endian payload length, 4-byte CRC32 (IEEE) of the
+// payload, then the JSON payload — so a crash mid-append leaves at worst a
+// broken tail that ReplayLog detects (short frame, checksum mismatch, or
+// undecodable JSON) and discards, keeping every record before it. Snapshots
+// reuse the same frame format but are written in one atomic pass, so readers
+// either see the old snapshot or the new one, never a mix.
+//
+// The package knows nothing about what the records mean; Record carries an
+// opcode, an id, and opaque JSON data, and the server layers its put/del/meta
+// semantics on top.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Record is one entry of a log or snapshot.
+type Record struct {
+	// Op is the record's opcode (the server uses "put", "del" and "meta").
+	Op string `json:"op"`
+	// ID names the object the record is about.
+	ID string `json:"id,omitempty"`
+	// Dep optionally names the deployment the object belongs to.
+	Dep string `json:"dep,omitempty"`
+	// Data is the opaque JSON payload (an encoded ct-graph for puts).
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// frameHeaderLen is the bytes preceding each payload: uint32 length then
+// uint32 CRC32, both little-endian.
+const frameHeaderLen = 8
+
+// maxRecordBytes bounds a single record's payload. A length prefix past it is
+// treated as a corrupt frame rather than an allocation request.
+const maxRecordBytes = 1 << 30
+
+// Log is an append-only record log. Appends are buffered; Sync flushes the
+// buffer and fsyncs, making everything appended before it durable. A Log is
+// not safe for concurrent use — the server funnels all appends through one
+// writer goroutine.
+type Log struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	size int64
+}
+
+// OpenLog opens (creating if needed) the record log at path for appending.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: stat log: %w", err)
+	}
+	return &Log{path: path, f: f, w: bufio.NewWriter(f), size: st.Size()}, nil
+}
+
+// Append buffers one record. It is durable only after the next Sync.
+func (l *Log) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: encoding record: %w", err)
+	}
+	n, err := writeFrame(l.w, payload)
+	l.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("persist: appending record: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the log file.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("persist: flushing log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("persist: fsyncing log: %w", err)
+	}
+	return nil
+}
+
+// Size returns the log's byte size including buffered appends.
+func (l *Log) Size() int64 { return l.size }
+
+// Reset truncates the log to empty — called after its contents have been
+// compacted into a snapshot. The file stays open (appends continue at the
+// new, empty tail thanks to O_APPEND).
+func (l *Log) Reset() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("persist: flushing log before reset: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncating log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("persist: fsyncing truncated log: %w", err)
+	}
+	l.size = 0
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log.
+func (l *Log) Close() error {
+	syncErr := l.Sync()
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// writeFrame writes one length+CRC32 framed payload, returning the bytes
+// written (even on error, for size accounting).
+func writeFrame(w io.Writer, payload []byte) (int, error) {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	n, err := w.Write(hdr[:])
+	if err != nil {
+		return n, err
+	}
+	m, err := w.Write(payload)
+	return n + m, err
+}
+
+// ReplayLog reads the record log at path, calling fn for each intact record
+// in order. A missing file replays zero records. A broken tail — truncated
+// frame, oversized length, checksum mismatch, or undecodable payload — stops
+// the replay and reports truncated=true; every record before the break has
+// already been delivered. Only an error from fn (returned verbatim) or a
+// filesystem error aborts the replay.
+func ReplayLog(path string, fn func(Record) error) (n int, truncated bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("persist: opening log for replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		var hdr [frameHeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, false, nil // clean end
+			}
+			return n, true, nil // partial header
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxRecordBytes {
+			return n, true, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return n, true, nil // frame cut short
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return n, true, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return n, true, nil
+		}
+		if err := fn(rec); err != nil {
+			return n, false, err
+		}
+		n++
+	}
+}
+
+// WriteLogAtomic writes recs as a complete record log at path in one atomic
+// step: a temp file in the same directory is written, fsync'd, renamed over
+// path, and the directory fsync'd. Readers see either the previous file or
+// the new one. It returns the new file's size.
+func WriteLogAtomic(path string, recs []Record) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("persist: creating snapshot temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := bufio.NewWriter(tmp)
+	var size int64
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return 0, fmt.Errorf("persist: encoding snapshot record: %w", err)
+		}
+		n, err := writeFrame(w, payload)
+		size += int64(n)
+		if err != nil {
+			return 0, fmt.Errorf("persist: writing snapshot record: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, fmt.Errorf("persist: flushing snapshot: %w", err)
+	}
+	if err := commitTemp(tmp, path); err != nil {
+		tmp = nil // commitTemp closed it
+		return 0, err
+	}
+	tmp = nil
+	return size, nil
+}
+
+// WriteFileAtomic atomically replaces path with data using the same
+// temp-file + rename + directory-fsync protocol as WriteLogAtomic.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: writing temp file: %w", err)
+	}
+	return commitTemp(tmp, path)
+}
+
+// commitTemp fsyncs, chmods, closes and renames a written temp file over
+// path, then fsyncs the directory so the rename itself is durable. It always
+// closes tmp; on error the temp file is removed.
+func commitTemp(tmp *os.File, path string) error {
+	name := tmp.Name()
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("persist: %s: %w", step, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsyncing temp file", err)
+	}
+	// CreateTemp uses 0600; published files follow the usual umask-style 0644.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail("chmod temp file", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("persist: closing temp file: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("persist: renaming temp file: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Filesystems
+// that refuse directory fsync (some network mounts) degrade gracefully.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening directory for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return fmt.Errorf("persist: fsyncing directory: %w", err)
+	}
+	return nil
+}

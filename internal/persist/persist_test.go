@@ -1,0 +1,284 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// collect replays path into a slice, failing the test on a replay error.
+func collect(t *testing.T, path string) ([]Record, int, bool) {
+	t.Helper()
+	var recs []Record
+	n, truncated, err := ReplayLog(path, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayLog: %v", err)
+	}
+	return recs, n, truncated
+}
+
+// appendRecords opens the log at path and appends+syncs the given records.
+func appendRecords(t *testing.T, path string, recs ...Record) {
+	t.Helper()
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rec(op, id string, payload string) Record {
+	r := Record{Op: op, ID: id}
+	if payload != "" {
+		r.Data = json.RawMessage(payload)
+	}
+	return r
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	want := []Record{
+		rec("put", "t1", `{"nodes":3}`),
+		rec("del", "t1", ""),
+		rec("meta", "", `{"next":7}`),
+	}
+	appendRecords(t, path, want...)
+
+	got, n, truncated := collect(t, path)
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", n, len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].ID != want[i].ID || string(got[i].Data) != string(want[i].Data) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogAppendAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	appendRecords(t, path, rec("put", "t1", `{"a":1}`))
+	appendRecords(t, path, rec("put", "t2", `{"a":2}`))
+	got, _, truncated := collect(t, path)
+	if truncated || len(got) != 2 || got[1].ID != "t2" {
+		t.Fatalf("got %d records (truncated=%v), want the t1,t2 pair", len(got), truncated)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, truncated, err := ReplayLog(filepath.Join(t.TempDir(), "absent.wal"), func(Record) error {
+		t.Fatal("fn called for a missing file")
+		return nil
+	})
+	if err != nil || n != 0 || truncated {
+		t.Fatalf("missing file: n=%d truncated=%v err=%v, want 0,false,nil", n, truncated, err)
+	}
+}
+
+func TestReplayTruncatedTailKeepsPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	appendRecords(t, path,
+		rec("put", "t1", `{"a":1}`),
+		rec("put", "t2", `{"a":2}`),
+		rec("put", "t3", `{"a":3}`),
+	)
+	// Chop off the last 5 bytes, cutting the final record's payload short.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, n, truncated := collect(t, path)
+	if !truncated {
+		t.Fatal("truncated tail not reported")
+	}
+	if n != 2 || len(got) != 2 || got[0].ID != "t1" || got[1].ID != "t2" {
+		t.Fatalf("prefix = %d records (%v), want t1,t2", n, got)
+	}
+}
+
+func TestReplayCorruptPayloadKeepsPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	appendRecords(t, path, rec("put", "t1", `{"a":1}`))
+	end1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, path, rec("put", "t2", `{"a":2}`))
+	// Flip a byte inside the second record's payload: the CRC no longer
+	// matches, so replay must stop after t1.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[end1.Size()+frameHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, n, truncated := collect(t, path)
+	if !truncated || n != 1 || len(got) != 1 || got[0].ID != "t1" {
+		t.Fatalf("corrupt payload: n=%d truncated=%v got=%v, want just t1", n, truncated, got)
+	}
+}
+
+func TestReplayAbsurdLengthIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	appendRecords(t, path, rec("put", "t1", `{"a":1}`))
+	// Append a frame header claiming a multi-gigabyte payload.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, n, truncated := collect(t, path)
+	if !truncated || n != 1 {
+		t.Fatalf("absurd length: n=%d truncated=%v, want prefix of 1", n, truncated)
+	}
+}
+
+func TestReplayPropagatesFnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	appendRecords(t, path, rec("put", "t1", ""), rec("put", "t2", ""))
+	boom := errors.New("boom")
+	n, _, err := ReplayLog(path, func(r Record) error {
+		if r.ID == "t2" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("fn error: n=%d err=%v, want 1 and boom", n, err)
+	}
+}
+
+func TestLogReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(rec("put", "t1", "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("size after reset = %d, want 0", l.Size())
+	}
+	if err := l.Append(rec("put", "t2", "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, truncated := collect(t, path)
+	if truncated || len(got) != 1 || got[0].ID != "t2" {
+		t.Fatalf("after reset got %v (truncated=%v), want just t2", got, truncated)
+	}
+}
+
+func TestWriteLogAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if _, err := WriteLogAtomic(path, []Record{rec("put", "old", "")}); err != nil {
+		t.Fatal(err)
+	}
+	size, err := WriteLogAtomic(path, []Record{rec("put", "new1", ""), rec("put", "new2", "")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != size {
+		t.Fatalf("reported size %d, stat says %d", size, st.Size())
+	}
+	got, _, truncated := collect(t, path)
+	if truncated || len(got) != 2 || got[0].ID != "new1" {
+		t.Fatalf("replaced snapshot = %v (truncated=%v), want new1,new2", got, truncated)
+	}
+	// No temp files may survive the rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	if err := WriteFileAtomic(path, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"v":2}` {
+		t.Fatalf("content = %s, want v:2", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the published file", len(entries))
+	}
+}
+
+func BenchmarkLogAppendSync(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	l, err := OpenLog(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := json.RawMessage(`{"nodes":[` + strings.Repeat(`{"time":0,"loc":1},`, 63) + `{"time":0,"loc":1}]}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(Record{Op: "put", ID: "t" + strconv.Itoa(i), Data: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 { // group commit every 64 records
+			if err := l.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

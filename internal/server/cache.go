@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	rfidclean "repro"
@@ -68,7 +69,21 @@ func (c *constraintCache) get(p rfidclean.ConstraintParams, infer func() (*rfidc
 	c.mu.Unlock()
 	// An entry evicted while still being computed stays valid for the
 	// goroutines already holding it; it just won't be found again.
-	e.once.Do(func() { e.ic, e.err = infer() })
+	//
+	// sync.Once marks itself done even when its function panics, so a
+	// panicking infer would otherwise poison the entry: every later hit
+	// would read the zero values — a nil constraint set with a nil error —
+	// and crash far from the cause. Convert the panic into a cached error
+	// instead; retrying is pointless, since inference is deterministic for
+	// fixed parameters and map.
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.ic, e.err = nil, fmt.Errorf("constraint inference panicked: %v", r)
+			}
+		}()
+		e.ic, e.err = infer()
+	})
 	return e.ic, e.err, hit
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -115,5 +116,31 @@ func TestConstraintCacheCachesErrors(t *testing.T) {
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("error recomputed (%d calls)", calls.Load())
+	}
+}
+
+// TestConstraintCacheRecoversPanic: sync.Once marks itself done even when
+// its function panics, so before the recover() guard a panicking inference
+// permanently poisoned the entry — every later hit read the zero values (nil
+// set, nil error) and crashed the handler far from the cause. Now the panic
+// is converted into a cached error, for the first caller and all later hits.
+func TestConstraintCacheRecoversPanic(t *testing.T) {
+	var calls atomic.Int64
+	infer := func() (*rfidclean.ConstraintSet, error) {
+		calls.Add(1)
+		panic("inference exploded")
+	}
+	c := newConstraintCache(0)
+	p := rfidclean.ConstraintParams{MaxSpeed: 1}
+	ic, err, _ := c.get(p, infer)
+	if ic != nil || err == nil || !strings.Contains(err.Error(), "inference exploded") {
+		t.Fatalf("first get = (%v, %v), want nil set and the panic as an error", ic, err)
+	}
+	ic, err, hit := c.get(p, infer)
+	if ic != nil || err == nil || !hit {
+		t.Fatalf("second get = (%v, %v, hit=%v); the panic-error should be cached", ic, err, hit)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("panicking inference ran %d times, want 1", calls.Load())
 	}
 }

@@ -167,6 +167,18 @@ type metrics struct {
 	deployments    gauge
 	bodyRejections counter
 	inflight       gauge // /v1/ requests currently being served
+
+	// Durability (persist.go); all zero when the server runs without a data
+	// directory.
+	persistFlushes        counter
+	persistCompactions    counter
+	persistErrors         counter
+	persistBytes          gauge // total bytes of the on-disk data files
+	persistFlushSeconds   *histogram
+	recoveredDeployments  gauge
+	recoveredTrajectories gauge
+	recoveryDropped       gauge // records dropped at boot (unknown dep, undecodable, over budget)
+	recoveryTruncated     gauge // 1 when the last boot found a corrupt/truncated log tail
 }
 
 func newMetrics() *metrics {
@@ -187,6 +199,9 @@ func newMetrics() *metrics {
 		streamReadings:   newLabeled("outcome"),
 		observeSeconds: newHistogram(
 			0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1,
+		),
+		persistFlushSeconds: newHistogram(
+			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1,
 		),
 	}
 }
@@ -258,6 +273,24 @@ func (m *metrics) writeTo(w io.Writer) {
 		"POST bodies rejected for exceeding the size limit.", &m.bodyRejections)
 	writeGauge(w, "rfidclean_inflight_requests",
 		"API (/v1/) requests currently being served.", &m.inflight)
+	writeCounter(w, "rfidclean_persist_flushes_total",
+		"Durability flushes: WAL append+fsync batches plus deployments snapshots.", &m.persistFlushes)
+	writeCounter(w, "rfidclean_persist_compactions_total",
+		"WAL compactions into the trajectory snapshot.", &m.persistCompactions)
+	writeCounter(w, "rfidclean_persist_errors_total",
+		"Persistence operations that failed (logged, not fatal).", &m.persistErrors)
+	writeGauge(w, "rfidclean_persist_bytes",
+		"Total bytes of the on-disk data files (WAL, snapshots).", &m.persistBytes)
+	writeHistogram(w, "rfidclean_persist_flush_duration_seconds",
+		"Latency of durability flushes.", m.persistFlushSeconds)
+	writeGauge(w, "rfidclean_persist_recovered_deployments",
+		"Deployments recovered from the data directory at boot.", &m.recoveredDeployments)
+	writeGauge(w, "rfidclean_persist_recovered_trajectories",
+		"Trajectory graphs recovered from snapshot+WAL at boot.", &m.recoveredTrajectories)
+	writeGauge(w, "rfidclean_persist_recovery_dropped",
+		"Recovered records dropped at boot (unknown deployment, undecodable, over budget).", &m.recoveryDropped)
+	writeGauge(w, "rfidclean_persist_recovery_truncated",
+		"1 when the last boot found a corrupt or truncated log tail.", &m.recoveryTruncated)
 	writeRuntimeGauges(w)
 }
 

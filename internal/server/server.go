@@ -7,6 +7,8 @@
 //
 //	POST   /v1/deployments                 deployment JSON -> {"id": ...}
 //	GET    /v1/deployments                 list deployments
+//	GET    /v1/deployments/{id}            one deployment's row
+//	DELETE /v1/deployments/{id}            delete it (and its trajectories)
 //	POST   /v1/clean                       CleanRequest -> CleanResponse
 //	POST   /v1/clean/batch                 BatchCleanRequest -> []BatchCleanResult
 //	POST   /v1/stream                      open a streaming session -> {"id": ...}
@@ -14,6 +16,7 @@
 //	GET    /v1/stream/{id}?top=k           current filtered distribution
 //	POST   /v1/stream/{id}/smooth          offline re-clean of the buffer
 //	DELETE /v1/stream/{id}                 close (final smooth unless ?smooth=no)
+//	GET    /v1/trajectories                list stored trajectories
 //	GET    /v1/trajectories/{id}/stay?t=N  stay-query distribution
 //	GET    /v1/trajectories/{id}/match?pattern=...  trajectory query
 //	GET    /v1/trajectories/{id}/top?k=N   k most probable trajectories
@@ -24,10 +27,14 @@
 //	GET    /metrics                        Prometheus text metrics
 //	GET    /debug/traces                   recent request span trees
 //
-// The server keeps everything in memory; it is a query head, not a durable
-// store. Constraint inference is memoized per deployment (keyed by the
-// clean parameters), POST bodies are size-limited, and the trajectory store
-// can run under a byte budget with least-recently-queried eviction.
+// By default the server keeps everything in memory. With Options.DataDir
+// set (the daemon's -data-dir flag) it becomes a system of record:
+// deployments and cleaned trajectory graphs are persisted — snapshot plus
+// write-ahead log, compacted periodically — and recovered on the next boot
+// (see persist.go for the protocol). Constraint inference is memoized per
+// deployment (keyed by the clean parameters), POST bodies are size-limited,
+// and the trajectory store can run under a byte budget with
+// least-recently-queried eviction.
 //
 // Observability: every response carries an X-Request-ID (echoed or
 // generated), each /v1/ request records a span trace addressable by that ID
@@ -72,6 +79,7 @@ type Server struct {
 	metrics  *metrics
 	logger   *slog.Logger
 	recorder *obs.Recorder // nil when tracing is disabled
+	persist  *persister    // nil when Options.DataDir is unset
 	mux      *http.ServeMux
 }
 
@@ -109,6 +117,15 @@ type Options struct {
 	// serve (the span-tree ring size). Zero uses the default
 	// (obs.DefaultRecorderCapacity); negative disables tracing entirely.
 	TraceBuffer int
+	// DataDir, when non-empty, makes the server durable: deployments and
+	// cleaned trajectory graphs are persisted under this directory and
+	// recovered at construction (Open). Empty keeps everything in memory.
+	DataDir string
+	// SnapshotInterval is how often the trajectory write-ahead log is
+	// compacted into a snapshot. Zero uses the default (1 minute); negative
+	// disables periodic compaction (Close still compacts once). Ignored
+	// without DataDir.
+	SnapshotInterval time.Duration
 }
 
 // DefaultMaxBodyBytes is the POST body cap applied when Options.MaxBodyBytes
@@ -119,6 +136,7 @@ type deployment struct {
 	id    string
 	dep   *rfidclean.Deployment
 	sys   *rfidclean.System
+	raw   []byte // canonical encoded form, reused by persistence snapshots
 	cache *constraintCache
 }
 
@@ -131,8 +149,24 @@ type trajectory struct {
 // New returns a ready-to-serve Server with default options.
 func New() *Server { return NewWithOptions(Options{}) }
 
-// NewWithOptions returns a ready-to-serve Server.
+// NewWithOptions returns a ready-to-serve Server. It panics when recovery
+// from Options.DataDir fails — only reachable with DataDir set; durable
+// callers should prefer Open and handle the error.
 func NewWithOptions(opts Options) *Server {
+	s, err := Open(opts)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
+	return s
+}
+
+// Open returns a ready-to-serve Server. With Options.DataDir set it first
+// recovers the persisted state (deployments, then the trajectory snapshot
+// and write-ahead log — tolerating a corrupt or truncated log tail by
+// keeping the valid prefix) and starts the background persistence writer;
+// the error is non-nil only when the data directory is unusable or the
+// atomically-written deployments snapshot is corrupt.
+func Open(opts Options) (*Server, error) {
 	maxBody := opts.MaxBodyBytes
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
@@ -159,23 +193,45 @@ func NewWithOptions(opts Options) *Server {
 		mux:          http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/deployments", s.handleDeployments)
+	s.mux.HandleFunc("/v1/deployments/", s.handleDeploymentByID)
 	s.mux.HandleFunc("/v1/clean", s.handleClean)
 	s.mux.HandleFunc("/v1/clean/batch", s.handleCleanBatch)
 	s.mux.HandleFunc("/v1/stream", s.handleStreamOpen)
 	s.mux.HandleFunc("/v1/stream/", s.handleStream)
+	s.mux.HandleFunc("/v1/trajectories", s.handleTrajectoryList)
 	s.mux.HandleFunc("/v1/trajectories/", s.handleTrajectory)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	s.mux.Handle("/metrics", m)
-	return s
+	if opts.DataDir != "" {
+		p, err := newPersister(opts.DataDir, opts.SnapshotInterval, m, logger, recorder)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = p
+		s.store.persist = p
+		p.source = s.store.snapshot
+		if err := s.recoverFrom(opts.DataDir); err != nil {
+			p.wal.Close()
+			return nil, err
+		}
+		p.start()
+	}
+	return s, nil
 }
 
 // Close releases the server's background resources: it stops the streaming
-// session reaper (waiting for the goroutine to exit) and drops every open
-// session. Serving after Close answers stream opens with 503. It is
-// idempotent and safe to call while requests are in flight.
+// session reaper (waiting for the goroutine to exit), drops every open
+// session, and — when persistence is enabled — drains the write-ahead-log
+// writer, runs a final compaction, and closes the data files, so everything
+// acknowledged before Close survives the process. Serving after Close
+// answers stream opens with 503. It is idempotent and safe to call while
+// requests are in flight.
 func (s *Server) Close() error {
 	s.sessions.close()
+	if s.persist != nil {
+		s.persist.shutdown(true)
+	}
 	return nil
 }
 
@@ -251,16 +307,22 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "deployment rejected: %v", err)
 			return
 		}
+		raw, err := dep.EncodeBytes()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding deployment: %v", err)
+			return
+		}
 		s.mu.Lock()
 		s.nextDep++
 		id := "d" + strconv.Itoa(s.nextDep)
 		s.deployments[id] = &deployment{
-			id: id, dep: dep, sys: sys,
+			id: id, dep: dep, sys: sys, raw: raw,
 			cache: newConstraintCache(s.cacheEntries),
 		}
 		n := len(s.deployments)
 		s.mu.Unlock()
 		s.metrics.deployments.set(int64(n))
+		s.persistDeployments()
 		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
 	case http.MethodGet:
 		type row struct {
@@ -279,11 +341,119 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		s.mu.RUnlock()
-		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		sort.Slice(rows, func(i, j int) bool { return idLess(rows[i].ID, rows[j].ID) })
 		writeJSON(w, http.StatusOK, rows)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	}
+}
+
+// handleDeploymentByID serves GET (one row) and DELETE (drop the deployment
+// and its stored trajectories) on /v1/deployments/{id}.
+func (s *Server) handleDeploymentByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/deployments/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "unknown deployment path %q", r.URL.Path)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		d := s.lookupDeployment(id)
+		if d == nil {
+			writeError(w, http.StatusNotFound, "unknown deployment %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":        d.id,
+			"name":      d.dep.Name,
+			"locations": d.dep.Plan.NumLocations(),
+			"readers":   len(d.dep.Readers),
+		})
+	case http.MethodDelete:
+		s.mu.Lock()
+		_, ok := s.deployments[id]
+		if ok {
+			delete(s.deployments, id)
+		}
+		n := len(s.deployments)
+		s.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown deployment %q", id)
+			return
+		}
+		s.metrics.deployments.set(int64(n))
+		// Trajectories cleaned under the deployment go with it: they could
+		// not be recovered after a restart (no plan to decode against), so
+		// keeping them live would make restart behavior diverge.
+		dropped := s.store.deleteByDep(id)
+		s.persistDeployments()
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "trajectories": dropped})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// TrajectoryRow is one entry of the GET /v1/trajectories listing.
+type TrajectoryRow struct {
+	ID         string `json:"id"`
+	Deployment string `json:"deployment"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Bytes      int    `json:"bytes"`
+}
+
+// handleTrajectoryList serves GET /v1/trajectories: every stored trajectory,
+// ids in numeric order.
+func (s *Server) handleTrajectoryList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.metrics.queryOps.inc("list")
+	writeJSON(w, http.StatusOK, s.store.list())
+}
+
+// splitID separates an id like "t12" into its non-digit prefix and numeric
+// suffix. ok is false when the suffix is missing or not all digits.
+func splitID(id string) (prefix string, n int, ok bool) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	if i == len(id) {
+		return id, 0, false
+	}
+	n, err := strconv.Atoi(id[i:])
+	if err != nil {
+		return id, 0, false
+	}
+	return id[:i], n, true
+}
+
+// idLess orders ids numerically within a shared prefix ("d2" before "d10"),
+// falling back to lexicographic order across prefixes or for ids without a
+// numeric suffix.
+func idLess(a, b string) bool {
+	ap, an, aok := splitID(a)
+	bp, bn, bok := splitID(b)
+	if aok && bok && ap == bp {
+		if an != bn {
+			return an < bn
+		}
+		return a < b
+	}
+	return a < b
+}
+
+// idNum extracts the numeric suffix of an id with the given prefix ("t",
+// "d") — used to restore id counters from recovered state. ok is false when
+// the id does not match the prefix or has no numeric suffix.
+func idNum(prefix, id string) (int, bool) {
+	p, n, ok := splitID(id)
+	if !ok || p != prefix {
+		return 0, false
+	}
+	return n, true
 }
 
 // lookupDeployment resolves a deployment id under a read lock.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"testing"
 
 	rfidclean "repro"
@@ -120,5 +121,62 @@ func TestTrajStoreDelete(t *testing.T) {
 	}
 	if m.storeBytes.value() != 0 || m.storeCount.value() != 0 {
 		t.Errorf("gauges after delete = (%d, %d)", m.storeCount.value(), m.storeBytes.value())
+	}
+}
+
+// syntheticStore builds a store of n one-byte items with monotonically
+// increasing recency stamps, without paying for n real cleans.
+func syntheticStore(n int, maxBytes int64, m *metrics) *trajStore {
+	st := newTrajStore(maxBytes, m)
+	for i := 0; i < n; i++ {
+		id := "t" + strconv.Itoa(i+1)
+		it := &storeItem{traj: &trajectory{id: id, depID: "d1"}, bytes: 1}
+		it.lastUsed.Store(st.clock.Add(1))
+		st.items[id] = it
+	}
+	st.bytes = int64(n)
+	st.next = n
+	return st
+}
+
+// BenchmarkStoreEviction measures evicting half the store in one call — the
+// single-pass collect+sort that replaced the per-victim full map scan
+// (O(n log n) vs O(k·n); at n=8192, k=4096 the old shape walked ~33M entries
+// per call).
+func BenchmarkStoreEviction(b *testing.B) {
+	const n = 8192
+	m := newMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := syntheticStore(n, n/2, m)
+		b.StartTimer()
+		st.mu.Lock()
+		victims := st.evictLocked(nil)
+		st.mu.Unlock()
+		if len(victims) != n/2 {
+			b.Fatalf("evicted %d, want %d", len(victims), n/2)
+		}
+	}
+}
+
+// TestEvictLockedOrderAndReturn pins the eviction contract the persistence
+// layer relies on: victims come back oldest-first and exactly cover the
+// overshoot.
+func TestEvictLockedOrderAndReturn(t *testing.T) {
+	st := syntheticStore(10, 4, newMetrics())
+	st.mu.Lock()
+	victims := st.evictLocked(nil)
+	st.mu.Unlock()
+	if len(victims) != 6 {
+		t.Fatalf("evicted %d, want 6", len(victims))
+	}
+	for i, id := range victims {
+		if want := "t" + strconv.Itoa(i+1); id != want {
+			t.Fatalf("victim %d = %s, want %s (oldest first)", i, id, want)
+		}
+	}
+	if count, bytes := st.stats(); count != 4 || bytes != 4 {
+		t.Fatalf("post-eviction stats = (%d, %d), want (4, 4)", count, bytes)
 	}
 }

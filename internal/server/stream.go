@@ -64,7 +64,17 @@ type streamSession struct {
 
 func (ss *streamSession) touch() { ss.lastActive.Store(time.Now().UnixNano()) }
 
+// sessionTombstones caps how many closed-session ids the store remembers so
+// late requests can be answered with 410 Gone instead of 404. The ring is
+// bounded: at capacity the oldest tombstone falls back to 404, which is the
+// honest answer for an id nobody has mentioned in thousands of closures.
+const sessionTombstones = 4096
+
 // sessionStore owns the open sessions, the id counter, and the idle reaper.
+// Ids of sessions that existed but were closed (client close, idle reaping,
+// cap eviction, server shutdown) are kept in a bounded tombstone ring so a
+// client racing its own reaper gets 410 Gone — "re-open and re-send" — rather
+// than the 404 it would get for an id that never existed.
 type sessionStore struct {
 	maxSessions int           // <= 0: unlimited
 	ttl         time.Duration // <= 0: sessions are never reaped
@@ -74,6 +84,9 @@ type sessionStore struct {
 	mu       sync.Mutex
 	sessions map[string]*streamSession
 	next     int
+	gone     map[string]bool // tombstoned session ids
+	goneRing []string        // circular id buffer backing gone
+	goneHead int
 	reaping  bool          // reaper goroutine started
 	stop     chan struct{} // closed by close()
 	done     chan struct{} // closed when the reaper goroutine exits
@@ -99,9 +112,32 @@ func newSessionStore(opts Options, m *metrics) *sessionStore {
 		maxReadings: maxReadings,
 		m:           m,
 		sessions:    make(map[string]*streamSession),
+		gone:        make(map[string]bool),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+}
+
+// markGoneLocked tombstones a closed session id; the caller holds st.mu.
+func (st *sessionStore) markGoneLocked(id string) {
+	if st.gone[id] {
+		return
+	}
+	if len(st.goneRing) < sessionTombstones {
+		st.goneRing = append(st.goneRing, id)
+	} else {
+		delete(st.gone, st.goneRing[st.goneHead])
+		st.goneRing[st.goneHead] = id
+		st.goneHead = (st.goneHead + 1) % sessionTombstones
+	}
+	st.gone[id] = true
+}
+
+// isGone reports whether the id names a session that existed and was closed.
+func (st *sessionStore) isGone(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gone[id]
 }
 
 // open creates a session. At capacity the least-recently-active session is
@@ -147,6 +183,7 @@ func (st *sessionStore) evictOldestLocked() {
 		return
 	}
 	delete(st.sessions, victimID)
+	st.markGoneLocked(victimID)
 	st.m.streamEvicted.inc()
 }
 
@@ -163,6 +200,7 @@ func (st *sessionStore) remove(id string) bool {
 	_, ok := st.sessions[id]
 	if ok {
 		delete(st.sessions, id)
+		st.markGoneLocked(id)
 		st.m.streamSessions.set(int64(len(st.sessions)))
 	}
 	st.mu.Unlock()
@@ -209,6 +247,7 @@ func (st *sessionStore) reap(now time.Time) int {
 	for id, s := range st.sessions {
 		if s.lastActive.Load() < cutoff {
 			delete(st.sessions, id)
+			st.markGoneLocked(id)
 			reaped++
 		}
 	}
@@ -233,6 +272,9 @@ func (st *sessionStore) close() {
 	st.closed = true
 	reaping := st.reaping
 	if first {
+		for id := range st.sessions {
+			st.markGoneLocked(id)
+		}
 		st.sessions = make(map[string]*streamSession)
 		st.m.streamSessions.set(0)
 	}
@@ -338,7 +380,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.sessions.get(id)
 	if sess == nil {
-		writeError(w, http.StatusNotFound, "unknown stream session %q", id)
+		if s.sessions.isGone(id) {
+			writeError(w, http.StatusGone, "stream session %q is closed; open a new session and re-send", id)
+		} else {
+			writeError(w, http.StatusNotFound, "unknown stream session %q", id)
+		}
 		return
 	}
 	switch {
@@ -544,7 +590,9 @@ func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request, sess 
 		smooth = false
 	}
 	if !s.sessions.remove(sess.id) {
-		writeError(w, http.StatusNotFound, "unknown stream session %q", sess.id)
+		// Lost the race with the reaper, an eviction, or a concurrent close:
+		// the session existed moments ago, so it is gone, not unknown.
+		writeError(w, http.StatusGone, "stream session %q is closed; open a new session and re-send", sess.id)
 		return
 	}
 	sess.mu.Lock()

@@ -240,8 +240,8 @@ func TestStreamEndToEnd(t *testing.T) {
 	if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s", base, closed.Trajectory.ID), nil); code != http.StatusOK {
 		t.Fatalf("close-time trajectory not queryable (%d)", code)
 	}
-	if code := getJSON(t, base+"/v1/stream/"+sid, nil); code != http.StatusNotFound {
-		t.Fatalf("closed session still answers (%d)", code)
+	if code := getJSON(t, base+"/v1/stream/"+sid, nil); code != http.StatusGone {
+		t.Fatalf("closed session answered %d, want 410 Gone", code)
 	}
 
 	// The stream metrics series are all exposed.
@@ -489,8 +489,8 @@ func TestStreamEviction(t *testing.T) {
 	if srv.sessions.count() != 2 {
 		t.Fatalf("open sessions = %d, want 2", srv.sessions.count())
 	}
-	if code := getJSON(t, base+"/v1/stream/"+second, nil); code != http.StatusNotFound {
-		t.Errorf("stalest session survived eviction (%d)", code)
+	if code := getJSON(t, base+"/v1/stream/"+second, nil); code != http.StatusGone {
+		t.Errorf("evicted session answered %d, want 410 Gone", code)
 	}
 	for _, id := range []string{first, third} {
 		if code := getJSON(t, base+"/v1/stream/"+id, nil); code != http.StatusOK {
