@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	rfidclean "repro"
 	"repro/internal/constraints"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -419,6 +420,83 @@ func BenchmarkOracleVsCTGraph(b *testing.B) {
 				b.ReportMetric(r.OracleSeconds, fmt.Sprintf("s/oracle@%d", r.Duration))
 				b.ReportMetric(r.GraphSeconds, fmt.Sprintf("s/ctg@%d", r.Duration))
 			}
+		}
+	}
+}
+
+// --- Streaming sessions: incremental smoothing vs full rebuild -----------
+
+// benchSession returns the demo system, its inferred constraints, and a
+// generated reading sequence of the given duration — the fixture behind the
+// incremental-vs-full smoothing comparison.
+func benchSession(b *testing.B, duration int) (*rfidclean.System, *rfidclean.ConstraintSet, rfidclean.ReadingSequence) {
+	b.Helper()
+	sys := demoSystem(b)
+	ic, err := sys.InferConstraints(2, 5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rfidclean.NewRNG(11)
+	truth, err := rfidclean.GenerateTrajectory(sys.Plan, rfidclean.NewGeneratorConfig(duration), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, ic, rfidclean.GenerateReadings(truth, sys.Truth, rng)
+}
+
+// BenchmarkSessionSmoothIncremental measures the streaming server's fast
+// path end to end: a session that already observed 500 readings takes one
+// more and re-smooths through its live BuildState (SmoothState). Only the
+// smoothing is timed — Observe runs at ingestion, when the reading is
+// POSTed, not when smoothing is requested. Pair with
+// BenchmarkSessionSmoothFull, the fallback this path replaces.
+func BenchmarkSessionSmoothIncremental(b *testing.B) {
+	const warm = 500
+	sys, ic, readings := benchSession(b, warm+1)
+	opts := &rfidclean.BuildOptions{EndLatency: rfidclean.LenientEnd}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := rfidclean.NewBuildState(ic)
+		for _, r := range readings[:warm] {
+			cands, err := sys.Candidates(r.Readers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Observe(cands); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sys.SmoothState(st, opts); err != nil {
+			b.Fatal(err)
+		}
+		cands, err := sys.Candidates(readings[warm].Readers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Observe(cands); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sys.SmoothState(st, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionSmoothFull measures the fallback the incremental path
+// replaces: re-cleaning the same 501-reading buffer from scratch (l-sequence
+// derivation plus Algorithm 1), as the server does when a recalibration
+// invalidated the session's constraint set.
+func BenchmarkSessionSmoothFull(b *testing.B) {
+	sys, ic, readings := benchSession(b, 501)
+	opts := &rfidclean.BuildOptions{EndLatency: rfidclean.LenientEnd}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Clean(readings, ic, opts); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	rfidclean "repro"
 	"repro/internal/dataset"
+	"repro/internal/server"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		out        = flag.String("o", "-", "output file (- for stdout)")
 		fullPoints = flag.Bool("points", false, "include full (x, y, floor) ground-truth positions")
 		deployment = flag.Bool("deployment", false, "emit the dataset's deployment JSON (for cmd/rfidcleand) instead of instances")
+		encStream  = flag.Bool("encode-stream", false, "emit one instance's readings as an application/x-rfidclean binary frame (for POSTing to a stream session)")
 	)
 	flag.Parse()
 
@@ -78,6 +80,15 @@ func main() {
 	instances, err := d.Generate(*duration, *count, *stream)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *encStream {
+		buf := server.EncodeStreamReadings(instances[0].Readings)
+		if _, err := w.Write(buf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: wrote %d readings as one %d-byte binary stream frame\n",
+			len(instances[0].Readings), len(buf))
+		return
 	}
 	if err := dataset.Save(w, *name, instances, *fullPoints); err != nil {
 		log.Fatal(err)

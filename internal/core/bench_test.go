@@ -9,8 +9,13 @@ import (
 
 // benchScenario builds a fixed mid-size l-sequence and constraint set.
 func benchScenario() (*LSequence, *constraints.Set) {
+	return benchScenarioN(200)
+}
+
+// benchScenarioN is benchScenario with a chosen duration, for benchmarks
+// that need a stream longer than the mid-size default.
+func benchScenarioN(duration int) (*LSequence, *constraints.Set) {
 	rng := stats.NewRNG(99)
-	const duration = 200
 	const numLocs = 8
 	dists := make([][]float64, duration)
 	for t := range dists {
@@ -35,6 +40,11 @@ func benchScenario() (*LSequence, *constraints.Set) {
 		dists[t] = row
 	}
 	ls := FromDistributions(dists)
+	ic := newBenchConstraints(numLocs)
+	return ls, ic
+}
+
+func newBenchConstraints(numLocs int) *constraints.Set {
 	ic := constraints.NewSet()
 	for i := 0; i < numLocs; i++ {
 		for j := 0; j < numLocs; j++ {
@@ -47,7 +57,7 @@ func benchScenario() (*LSequence, *constraints.Set) {
 	ic.AddLT(2, 2)
 	_ = ic.AddTT(0, 4, 5)
 	_ = ic.AddTT(3, 7, 4)
-	return ls, ic
+	return ic
 }
 
 // BenchmarkAlgorithm1 measures the full forward+backward construction.
@@ -124,6 +134,53 @@ func BenchmarkTopK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if trajs, _ := g.TopK(5); len(trajs) == 0 {
 			b.Fatal("no trajectories")
+		}
+	}
+}
+
+// BenchmarkIncrementalSmooth measures the streaming fast path: a live
+// session that has already observed (and smoothed) 500 readings takes one
+// more and re-smooths. Only that Smooth is timed — in the server, Observe
+// runs at ingestion (POST readings), not at smoothing time — and every
+// iteration rebuilds the same 501-reading session untimed, so the number is
+// stable in b.N. The backward convergence check stops the recompute a few
+// levels in, so the cost is dominated by cloning the settled prefix — the
+// work a full rebuild (BenchmarkFullSmooth500) redoes from scratch.
+func BenchmarkIncrementalSmooth(b *testing.B) {
+	const warm = 500
+	ls, ic := benchScenarioN(warm + 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := NewBuildState(ic)
+		for _, step := range ls.Steps[:warm] {
+			if err := st.Observe(step.Candidates); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := st.Smooth(nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Observe(ls.Steps[warm].Candidates); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := st.Smooth(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSmooth500 is the rebuild the incremental path replaces:
+// Algorithm 1 end to end over the same 500-reading session plus one more.
+func BenchmarkFullSmooth500(b *testing.B) {
+	ls, ic := benchScenarioN(501)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ls, ic, nil); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

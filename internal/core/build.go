@@ -214,62 +214,15 @@ func BuildCtx(ctx context.Context, ls *LSequence, ic *constraints.Set, opts *Opt
 	// Target survivals: 1, except targets condemned by strict
 	// end-of-window latency semantics (Definition 2).
 	strict := opts.endLatency() == constraints.StrictEnd
-	condemned := 0
-	for _, n := range g.byTime[duration-1] {
-		if strict && n.Stay != StayUntracked {
-			n.surv = 0
-			n.removed = true
-			condemned++
-		} else {
-			n.surv = 1
-		}
-	}
+	condemned := condemnTargets(g.byTime[duration-1], strict)
 	g.detachRemoved(duration - 1)
 
 	backwardRemoved := 0
 	for t := duration - 2; t >= 0; t-- {
-		maxS := 0.0
-		for _, n := range g.byTime[t] {
-			// Drop edges into removed nodes, accumulate survival,
-			// and store the unconditioned weight on each edge.
-			alive := n.out[:0]
-			s := 0.0
-			for _, e := range n.out {
-				if e.To.removed {
-					continue
-				}
-				e.P *= e.To.surv
-				s += e.P
-				alive = append(alive, e)
-			}
-			n.out = alive
-			n.surv = s
-			if s > maxS {
-				maxS = s
-			}
-			if s == 0 {
-				// Proposition 1: no successor => invalid. s can also hit
-				// zero by underflow when every surviving edge weight is
-				// below the smallest denormal; either way the node carries
-				// no representable valid mass and is pruned.
-				n.removed = true
-				backwardRemoved++
-				continue
-			}
-			// Condition the outgoing edges (lines 17-19): each is
-			// divided by the surviving fraction.
-			for _, e := range n.out {
-				e.P /= s
-			}
-		}
-		if maxS == 0 {
+		removed, ok := conditionLevel(g.byTime[t])
+		backwardRemoved += removed
+		if !ok {
 			return nil, ErrNoValidTrajectory
-		}
-		// Rescale this level's survivals so the recurrence never
-		// underflows; conditioned probabilities depend only on
-		// within-level ratios, which this preserves.
-		for _, n := range g.byTime[t] {
-			n.surv /= maxS
 		}
 		g.detachRemoved(t)
 	}
@@ -283,16 +236,9 @@ func BuildCtx(ctx context.Context, ls *LSequence, ic *constraints.Set, opts *Opt
 	defer spRevise.End()
 
 	// Condition the source probabilities (lines 30-31).
-	total := 0.0
-	for _, src := range g.byTime[0] {
-		src.prob *= src.surv
-		total += src.prob
-	}
-	if total <= 0 {
+	total, ok := conditionSources(g.byTime[0])
+	if !ok {
 		return nil, ErrNoValidTrajectory
-	}
-	for _, src := range g.byTime[0] {
-		src.prob /= total
 	}
 	ghosts := g.scrubOrphans()
 	g.compact()
@@ -301,12 +247,103 @@ func BuildCtx(ctx context.Context, ls *LSequence, ic *constraints.Set, opts *Opt
 		ex.BackwardRemoved = backwardRemoved
 		ex.GhostsRemoved = ghosts
 		ex.Normalizer = total
+		ex.RecomputedLevels = duration
 		for t := range g.byTime {
 			ex.Steps[t].NodesFinal = len(g.byTime[t])
 		}
 		ex.ReviseNanos = time.Since(phaseStart).Nanoseconds()
 	}
 	return g, nil
+}
+
+// condemnTargets initializes the target survivals (the backward recurrence's
+// base case): 1, except targets condemned by strict end-of-window latency
+// semantics (Definition 2), which get survival 0 and are removed. Returns the
+// number of condemned targets. Shared by Build and BuildState.Smooth so both
+// paths run the identical operations in the identical order.
+func condemnTargets(nodes []*Node, strict bool) int {
+	condemned := 0
+	for _, n := range nodes {
+		if strict && n.Stay != StayUntracked {
+			n.surv = 0
+			n.removed = true
+			condemned++
+		} else {
+			n.surv = 1
+		}
+	}
+	return condemned
+}
+
+// conditionLevel runs one backward iteration (lines 15-29 in closed form)
+// over the nodes of a single timestamp: it drops edges into removed
+// successors, accumulates each node's survival, conditions the surviving
+// out-edges, and rescales the level's survivals by their maximum so the
+// recurrence never underflows (conditioned probabilities depend only on
+// within-level survival ratios, which rescaling preserves). ok is false when
+// the whole level died — i.e. no valid trajectory exists. The caller must
+// follow up with detachRemoved for this timestamp. Shared by Build and
+// BuildState.Smooth: keeping the float operations in one body is what makes
+// the incremental path bit-identical to the offline one.
+func conditionLevel(nodes []*Node) (removed int, ok bool) {
+	maxS := 0.0
+	for _, n := range nodes {
+		// Drop edges into removed nodes, accumulate survival,
+		// and store the unconditioned weight on each edge.
+		alive := n.out[:0]
+		s := 0.0
+		for _, e := range n.out {
+			if e.To.removed {
+				continue
+			}
+			e.P *= e.To.surv
+			s += e.P
+			alive = append(alive, e)
+		}
+		n.out = alive
+		n.surv = s
+		if s > maxS {
+			maxS = s
+		}
+		if s == 0 {
+			// Proposition 1: no successor => invalid. s can also hit
+			// zero by underflow when every surviving edge weight is
+			// below the smallest denormal; either way the node carries
+			// no representable valid mass and is pruned.
+			n.removed = true
+			removed++
+			continue
+		}
+		// Condition the outgoing edges (lines 17-19): each is
+		// divided by the surviving fraction.
+		for _, e := range n.out {
+			e.P /= s
+		}
+	}
+	if maxS == 0 {
+		return removed, false
+	}
+	for _, n := range nodes {
+		n.surv /= maxS
+	}
+	return removed, true
+}
+
+// conditionSources conditions the source probabilities (lines 30-31):
+// p'_N(src) = p_N(src)·S(src) / Σ p_N·S. ok is false when no source retains
+// positive mass. Shared by Build and BuildState.Smooth.
+func conditionSources(nodes []*Node) (total float64, ok bool) {
+	for _, src := range nodes {
+		src.prob *= src.surv
+		total += src.prob
+	}
+	if total <= 0 {
+		return total, false
+	}
+	for _, src := range nodes {
+		src.prob /= total
+	}
+	return total, true
 }
 
 // detachRemoved unlinks a removed node at timestamp t from both sides of its
@@ -316,7 +353,13 @@ func BuildCtx(ctx context.Context, ls *LSequence, ic *constraints.Set, opts *Opt
 // removed nodes whenever a node died with surviving out-edges (possible only
 // through survival underflow within a level).
 func (g *Graph) detachRemoved(t int) {
-	for _, n := range g.byTime[t] {
+	detachRemovedLevel(g.byTime[t])
+}
+
+// detachRemovedLevel is detachRemoved over an explicit node list, so
+// BuildState.Smooth can apply it to cloned levels.
+func detachRemovedLevel(nodes []*Node) {
+	for _, n := range nodes {
 		if !n.removed {
 			continue
 		}
@@ -344,25 +387,34 @@ func (g *Graph) detachRemoved(t int) {
 func (g *Graph) scrubOrphans() int {
 	ghosts := 0
 	for t := 1; t < len(g.byTime); t++ {
-		for _, n := range g.byTime[t] {
-			if n.removed {
-				continue
+		ghosts += scrubLevelOrphans(g.byTime[t])
+	}
+	return ghosts
+}
+
+// scrubLevelOrphans removes the orphans of a single timestamp: nodes whose
+// predecessors were all removed. Per-level so BuildState.Smooth can sweep
+// only the recomputed suffix.
+func scrubLevelOrphans(nodes []*Node) int {
+	ghosts := 0
+	for _, n := range nodes {
+		if n.removed {
+			continue
+		}
+		alive := n.in[:0]
+		for _, e := range n.in {
+			if !e.From.removed {
+				alive = append(alive, e)
 			}
-			alive := n.in[:0]
-			for _, e := range n.in {
-				if !e.From.removed {
-					alive = append(alive, e)
-				}
+		}
+		n.in = alive
+		if len(n.in) == 0 {
+			n.removed = true
+			ghosts++
+			for _, e := range n.out {
+				removeInEdge(e.To, e)
 			}
-			n.in = alive
-			if len(n.in) == 0 {
-				n.removed = true
-				ghosts++
-				for _, e := range n.out {
-					removeInEdge(e.To, e)
-				}
-				n.out = nil
-			}
+			n.out = nil
 		}
 	}
 	return ghosts
@@ -372,15 +424,21 @@ func (g *Graph) scrubOrphans() int {
 // dense per-level indices to match the surviving positions.
 func (g *Graph) compact() {
 	for t := range g.byTime {
-		alive := g.byTime[t][:0]
-		for _, n := range g.byTime[t] {
-			if !n.removed {
-				n.idx = int32(len(alive))
-				alive = append(alive, n)
-			}
-		}
-		g.byTime[t] = alive
+		compactLevel(&g.byTime[t])
 	}
+}
+
+// compactLevel drops the removed nodes of a single timestamp in place and
+// reassigns the dense per-level indices.
+func compactLevel(nodes *[]*Node) {
+	alive := (*nodes)[:0]
+	for _, n := range *nodes {
+		if !n.removed {
+			n.idx = int32(len(alive))
+			alive = append(alive, n)
+		}
+	}
+	*nodes = alive
 }
 
 // resize returns s with length n, reallocating only when the capacity is too
@@ -439,6 +497,36 @@ func (b *builder) newEdge(from, to *Node, p float64) *Edge {
 	e := &b.edges[len(b.edges)-1]
 	*e = Edge{From: from, To: to, P: p}
 	return e
+}
+
+// cloneNode copies a node's value (identity, probabilities, idx) into the
+// arena in one block copy, detaching it from the source's adjacency. Used by
+// the incremental bulk copies, where the field-by-field newNode path showed
+// up in profiles.
+func (b *builder) cloneNode(n *Node) *Node {
+	if len(b.nodes) == cap(b.nodes) {
+		b.nodes = make([]Node, 0, nodeBlockSize)
+	}
+	b.nodes = b.nodes[:len(b.nodes)+1]
+	c := &b.nodes[len(b.nodes)-1]
+	*c = *n
+	c.out, c.in = nil, nil
+	return c
+}
+
+// grow ensures the arena can hold n more nodes, e more edges and p more
+// edge-pointer slots without falling back to chunked blocks, so a bulk copy
+// of known size allocates at most three exact blocks.
+func (b *builder) grow(n, e, p int) {
+	if cap(b.nodes)-len(b.nodes) < n {
+		b.nodes = make([]Node, 0, n)
+	}
+	if cap(b.edges)-len(b.edges) < e {
+		b.edges = make([]Edge, 0, e)
+	}
+	if cap(b.ptrs)-len(b.ptrs) < p {
+		b.ptrs = make([]*Edge, 0, p)
+	}
 }
 
 // carve returns an empty edge list with capacity exactly n, cut from the

@@ -71,6 +71,14 @@ type BuildExplain struct {
 	// divided by (the probability of the conditioning event, up to the
 	// backward phase's underflow-guard rescaling).
 	Normalizer float64 `json:"normalizer"`
+
+	// ReusedLevels and RecomputedLevels split the window by how the
+	// backward/revise work was obtained: an incremental smooth
+	// (BuildState.Smooth) reuses the prefix below its convergence boundary
+	// from the previous pass and reconditions only the suffix. A full Build
+	// reports 0 reused and the whole window recomputed.
+	ReusedLevels     int `json:"reusedLevels,omitempty"`
+	RecomputedLevels int `json:"recomputedLevels"`
 }
 
 // reset clears a report so Build can fill it from scratch.

@@ -89,13 +89,8 @@ func (f *Filter) FrontierSize() int { return len(f.frontier) }
 // prior.Model). It returns ErrNoValidTrajectory when no continuation is
 // consistent with the constraints, after which the filter is unusable.
 func (f *Filter) Observe(candidates []Candidate) error {
-	if len(candidates) == 0 {
-		return fmt.Errorf("core: empty candidate set at timestamp %d", f.time+1)
-	}
-	for _, c := range candidates {
-		if c.P <= 0 || c.Loc < 0 {
-			return fmt.Errorf("core: bad candidate (loc %d, p %g) at timestamp %d", c.Loc, c.P, f.time+1)
-		}
+	if err := validateCandidates(candidates, f.time+1); err != nil {
+		return err
 	}
 	if f.time < 0 {
 		f.frontier = make([]*filterEntry, 0, len(candidates))
@@ -142,11 +137,19 @@ func (f *Filter) Observe(candidates []Candidate) error {
 }
 
 // normalizeAndPrune rescales frontier probabilities to sum to 1, applying
-// the beam cap first when configured.
+// the beam cap first when configured. The beam sort breaks probability ties
+// by node identity (location, stay, then TL) so entries straddling the beam
+// boundary with equal mass truncate deterministically — sort.Slice is
+// unstable, and keying on alpha alone made repeated runs over the same
+// readings keep different frontiers.
 func (f *Filter) normalizeAndPrune() {
 	if f.beam > 0 && len(f.frontier) > f.beam {
 		sort.Slice(f.frontier, func(i, j int) bool {
-			return f.frontier[i].alpha > f.frontier[j].alpha
+			a, b := f.frontier[i], f.frontier[j]
+			if a.alpha != b.alpha {
+				return a.alpha > b.alpha
+			}
+			return a.node.identityLess(b.node)
 		})
 		f.frontier = f.frontier[:f.beam]
 	}
@@ -160,6 +163,28 @@ func (f *Filter) normalizeAndPrune() {
 	for _, e := range f.frontier {
 		e.alpha /= total
 	}
+}
+
+// identityLess orders nodes of one timestamp by their identity fields:
+// location, then stay counter, then TL lexicographically. Two distinct nodes
+// of a level never compare equal — (Loc, Stay, TL) is exactly the nodeKey
+// the forward phase deduplicates on.
+func (n *Node) identityLess(m *Node) bool {
+	if n.Loc != m.Loc {
+		return n.Loc < m.Loc
+	}
+	if n.Stay != m.Stay {
+		return n.Stay < m.Stay
+	}
+	for i := 0; i < len(n.TL) && i < len(m.TL); i++ {
+		if n.TL[i] != m.TL[i] {
+			if n.TL[i].Time != m.TL[i].Time {
+				return n.TL[i].Time < m.TL[i].Time
+			}
+			return n.TL[i].Loc < m.TL[i].Loc
+		}
+	}
+	return len(n.TL) < len(m.TL)
 }
 
 // Current returns the filtered distribution over locations at the latest
@@ -199,6 +224,13 @@ func (f *Filter) Distribution() ([]LocProb, error) {
 	for _, e := range f.frontier {
 		byLoc[e.node.Loc] += e.alpha
 	}
+	return sortDistribution(byLoc), nil
+}
+
+// sortDistribution flattens a by-location aggregate into the serving shape:
+// descending probability, ties broken by ascending location ID. Shared by
+// Filter.Distribution and BuildState.Distribution.
+func sortDistribution(byLoc map[int]float64) []LocProb {
 	out := make([]LocProb, 0, len(byLoc))
 	for l, p := range byLoc {
 		out = append(out, LocProb{Loc: l, P: p})
@@ -209,7 +241,7 @@ func (f *Filter) Distribution() ([]LocProb, error) {
 		}
 		return out[i].Loc < out[j].Loc
 	})
-	return out, nil
+	return out
 }
 
 // TopLocations returns the up-to-k most probable current locations with

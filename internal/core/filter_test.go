@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/constraints"
@@ -271,5 +272,74 @@ func TestFilterDistributionAndTopLocations(t *testing.T) {
 	}
 	if len(all) != len(dist) {
 		t.Fatalf("TopLocations(10) has %d entries, want %d", len(all), len(dist))
+	}
+}
+
+// TestFilterBeamTieBreakDeterministic pins the beam-prune tie-break: when
+// entries with equal probability straddle the beam boundary, the kept set is
+// decided by node identity (location, stay, TL), not by the unstable sort's
+// arbitrary order — so repeated runs over the same readings keep bit-identical
+// frontiers. The candidate order deliberately differs from identity order to
+// catch an insertion-order-dependent truncation.
+func TestFilterBeamTieBreakDeterministic(t *testing.T) {
+	uniform := []Candidate{{Loc: 3, P: 0.25}, {Loc: 1, P: 0.25}, {Loc: 2, P: 0.25}, {Loc: 0, P: 0.25}}
+	run := func() []LocProb {
+		f := NewFilter(constraints.NewSet(), &FilterOptions{Beam: 2})
+		for step := 0; step < 5; step++ {
+			if err := f.Observe(uniform); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		dist, err := f.Distribution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dist
+	}
+	first := run()
+	if len(first) != 2 {
+		t.Fatalf("beam 2 kept %d locations", len(first))
+	}
+	// All four frontier entries tie at every step; identity order must keep
+	// locations 0 and 1.
+	kept := []int{first[0].Loc, first[1].Loc}
+	sort.Ints(kept)
+	if kept[0] != 0 || kept[1] != 1 {
+		t.Fatalf("tie-break kept locations %v, want [0 1]", kept)
+	}
+	for trial := 0; trial < 10; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: frontier size changed: %d vs %d", trial, len(again), len(first))
+		}
+		for i := range first {
+			if again[i].Loc != first[i].Loc || math.Float64bits(again[i].P) != math.Float64bits(first[i].P) {
+				t.Fatalf("trial %d entry %d: %+v vs %+v", trial, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// TestFilterRejectsDuplicateCandidates pins the duplicate-location check: a
+// candidate set naming the same location twice used to double-accumulate
+// that location's forward mass silently.
+func TestFilterRejectsDuplicateCandidates(t *testing.T) {
+	dup := []Candidate{{Loc: 0, P: 0.5}, {Loc: 1, P: 0.25}, {Loc: 0, P: 0.25}}
+	f := NewFilter(constraints.NewSet(), nil)
+	if err := f.Observe(dup); err == nil {
+		t.Fatal("initial observation accepted duplicate locations")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("error does not name the duplicate: %v", err)
+	}
+	f = NewFilter(constraints.NewSet(), nil)
+	if err := f.Observe([]Candidate{{Loc: 0, P: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Observe(dup); err == nil {
+		t.Fatal("later observation accepted duplicate locations")
+	}
+	// The failed observation must not have advanced the filter.
+	if f.Time() != 0 {
+		t.Fatalf("rejected observation advanced time to %d", f.Time())
 	}
 }

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/constraints"
+	"repro/internal/stats"
+)
+
+// graphsBitIdentical asserts two ct-graphs are structurally equal with
+// bit-identical probabilities: same levels, same nodes (identity fields and
+// source probabilities), and the same out-edges in the same order with the
+// same conditioned weights. This is much stronger than comparing marginals.
+func graphsBitIdentical(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.Duration() != got.Duration() {
+		t.Fatalf("duration: want %d, got %d", want.Duration(), got.Duration())
+	}
+	for tt := 0; tt < want.Duration(); tt++ {
+		wl, gl := want.byTime[tt], got.byTime[tt]
+		if len(wl) != len(gl) {
+			t.Fatalf("t=%d: want %d nodes, got %d", tt, len(wl), len(gl))
+		}
+		for i := range wl {
+			wn, gn := wl[i], gl[i]
+			if wn.Time != gn.Time || wn.Loc != gn.Loc || wn.Stay != gn.Stay {
+				t.Fatalf("t=%d node %d: want (%d,%d,%d), got (%d,%d,%d)",
+					tt, i, wn.Time, wn.Loc, wn.Stay, gn.Time, gn.Loc, gn.Stay)
+			}
+			if len(wn.TL) != len(gn.TL) {
+				t.Fatalf("t=%d node %d: TL length differs", tt, i)
+			}
+			for k := range wn.TL {
+				if wn.TL[k] != gn.TL[k] {
+					t.Fatalf("t=%d node %d: TL entry %d differs", tt, i, k)
+				}
+			}
+			if math.Float64bits(wn.prob) != math.Float64bits(gn.prob) {
+				t.Fatalf("t=%d node %d: prob want %x, got %x", tt, i,
+					math.Float64bits(wn.prob), math.Float64bits(gn.prob))
+			}
+			if len(wn.out) != len(gn.out) {
+				t.Fatalf("t=%d node %d: want %d out-edges, got %d", tt, i, len(wn.out), len(gn.out))
+			}
+			for k := range wn.out {
+				we, ge := wn.out[k], gn.out[k]
+				if we.To.idx != ge.To.idx {
+					t.Fatalf("t=%d node %d edge %d: want target %d, got %d", tt, i, k, we.To.idx, ge.To.idx)
+				}
+				if math.Float64bits(we.P) != math.Float64bits(ge.P) {
+					t.Fatalf("t=%d node %d edge %d: P want %x, got %x", tt, i, k,
+						math.Float64bits(we.P), math.Float64bits(ge.P))
+				}
+			}
+		}
+	}
+}
+
+func prefixLS(ls *LSequence, n int) *LSequence {
+	return &LSequence{Steps: ls.Steps[:n]}
+}
+
+// TestPropertyIncrementalSmoothEqualsBuild is the tentpole equivalence
+// property: feeding random valid reading sequences through a BuildState and
+// smoothing at random prefixes yields, at every prefix, a graph bit-identical
+// to a full offline Build over the same prefix — including after prefix
+// reuse, under both end-latency modes, and with the modes alternating (which
+// invalidates the convergence bookkeeping).
+func TestPropertyIncrementalSmoothEqualsBuild(t *testing.T) {
+	rng := stats.NewRNG(20140325)
+	const trials = 400
+	smoothed, reused := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		ls, ic := randomScenario(rng)
+		st := NewBuildState(ic)
+		mode := constraints.LenientEnd
+		if rng.Bernoulli(0.3) {
+			mode = constraints.StrictEnd
+		}
+		for k := 0; k < ls.Duration(); k++ {
+			if err := st.Observe(ls.Steps[k].Candidates); err != nil {
+				// The forward phase dead-ended: the offline build over the
+				// same prefix must dead-end too, and the state must refuse
+				// further readings.
+				if !errors.Is(err, ErrNoValidTrajectory) {
+					t.Fatalf("trial %d: unexpected observe error: %v", trial, err)
+				}
+				if _, bErr := Build(prefixLS(ls, k+1), ic, &Options{EndLatency: mode}); !errors.Is(bErr, ErrNoValidTrajectory) {
+					t.Fatalf("trial %d: state dead-ended at %d but Build said %v", trial, k, bErr)
+				}
+				if err := st.Observe(ls.Steps[k].Candidates); !errors.Is(err, ErrNoValidTrajectory) {
+					t.Fatalf("trial %d: dead state accepted a reading: %v", trial, err)
+				}
+				break
+			}
+			if k != ls.Duration()-1 && !rng.Bernoulli(0.5) {
+				continue // smooth at a random subset of prefixes, always the last
+			}
+			if rng.Bernoulli(0.15) {
+				// Occasionally flip the end-latency mode mid-session.
+				if mode == constraints.LenientEnd {
+					mode = constraints.StrictEnd
+				} else {
+					mode = constraints.LenientEnd
+				}
+			}
+			var exInc, exFull BuildExplain
+			got, gErr := st.Smooth(&Options{EndLatency: mode, Explain: &exInc})
+			want, wErr := Build(prefixLS(ls, k+1), ic, &Options{EndLatency: mode, Explain: &exFull})
+			if (gErr == nil) != (wErr == nil) {
+				t.Fatalf("trial %d prefix %d: incremental err %v, full err %v", trial, k+1, gErr, wErr)
+			}
+			if wErr != nil {
+				if !errors.Is(gErr, ErrNoValidTrajectory) {
+					t.Fatalf("trial %d prefix %d: want ErrNoValidTrajectory, got %v", trial, k+1, gErr)
+				}
+				continue
+			}
+			smoothed++
+			reused += exInc.ReusedLevels
+			graphsBitIdentical(t, want, got)
+			if err := got.CheckInvariants(1e-9); err != nil {
+				t.Fatalf("trial %d prefix %d: invariants: %v", trial, k+1, err)
+			}
+			numLocs := len(ls.Steps[0].Candidates)
+			for _, s := range ls.Steps {
+				for _, c := range s.Candidates {
+					if c.Loc >= numLocs {
+						numLocs = c.Loc + 1
+					}
+				}
+			}
+			wantM, err := want.Marginals(numLocs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotM, err := got.Marginals(numLocs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tt := range wantM {
+				for l := range wantM[tt] {
+					if math.Float64bits(wantM[tt][l]) != math.Float64bits(gotM[tt][l]) {
+						t.Fatalf("trial %d prefix %d: marginal (t=%d, loc=%d) want %x, got %x",
+							trial, k+1, tt, l, math.Float64bits(wantM[tt][l]), math.Float64bits(gotM[tt][l]))
+					}
+				}
+			}
+			// Count-valued explain fields must agree with the full build's.
+			if exInc.PrunedDU != exFull.PrunedDU || exInc.PrunedLT != exFull.PrunedLT || exInc.PrunedTT != exFull.PrunedTT ||
+				exInc.TargetsCondemned != exFull.TargetsCondemned ||
+				exInc.BackwardRemoved != exFull.BackwardRemoved ||
+				exInc.GhostsRemoved != exFull.GhostsRemoved {
+				t.Fatalf("trial %d prefix %d: explain counters diverge: inc %+v full %+v", trial, k+1, exInc, exFull)
+			}
+			if math.Float64bits(exInc.Normalizer) != math.Float64bits(exFull.Normalizer) {
+				t.Fatalf("trial %d prefix %d: normalizer want %x, got %x",
+					trial, k+1, math.Float64bits(exFull.Normalizer), math.Float64bits(exInc.Normalizer))
+			}
+			for tt := range exFull.Steps {
+				if exInc.Steps[tt] != exFull.Steps[tt] {
+					t.Fatalf("trial %d prefix %d: explain step %d: inc %+v full %+v",
+						trial, k+1, tt, exInc.Steps[tt], exFull.Steps[tt])
+				}
+			}
+			if exInc.ReusedLevels+exInc.RecomputedLevels != k+1 {
+				t.Fatalf("trial %d prefix %d: reused %d + recomputed %d != window",
+					trial, k+1, exInc.ReusedLevels, exInc.RecomputedLevels)
+			}
+		}
+	}
+	if smoothed == 0 {
+		t.Fatal("no scenario produced a smoothable prefix")
+	}
+	if reused == 0 {
+		t.Fatal("convergence never reused a prefix level — the incremental path was never exercised")
+	}
+}
+
+// TestIncrementalSmoothIndependence asserts each Smooth returns a graph that
+// later observations and smooths do not mutate.
+func TestIncrementalSmoothIndependence(t *testing.T) {
+	ls, ic := benchScenario()
+	st := NewBuildState(ic)
+	opts := &Options{EndLatency: constraints.LenientEnd}
+	for k := 0; k < 50; k++ {
+		if err := st.Observe(ls.Steps[k].Candidates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := st.Smooth(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM, err := first.Marginals(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([][]float64(nil), wantM...)
+	for k := 50; k < 80; k++ {
+		if err := st.Observe(ls.Steps[k].Candidates); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Smooth(opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotM, err := first.Marginals(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range want {
+		for l := range want[tt] {
+			if math.Float64bits(want[tt][l]) != math.Float64bits(gotM[tt][l]) {
+				t.Fatalf("snapshot mutated at (t=%d, loc=%d)", tt, l)
+			}
+		}
+	}
+	if err := first.CheckInvariants(1e-9); err != nil {
+		t.Fatalf("snapshot invariants broken after later smooths: %v", err)
+	}
+}
+
+// TestBuildStateFrontierMatchesFilter asserts the BuildState's frontier
+// queries return bit-identical values to an exact Filter fed the same
+// candidates, so a serving layer can use either interchangeably.
+func TestBuildStateFrontierMatchesFilter(t *testing.T) {
+	ls, ic := benchScenario()
+	st := NewBuildState(ic)
+	f := NewFilter(ic, nil)
+	for k := 0; k < 120; k++ {
+		cands := ls.Steps[k].Candidates
+		if err := st.Observe(cands); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Observe(cands); err != nil {
+			t.Fatal(err)
+		}
+		if st.Time() != f.Time() || st.FrontierSize() != f.FrontierSize() {
+			t.Fatalf("step %d: time/frontier diverge: state (%d,%d), filter (%d,%d)",
+				k, st.Time(), st.FrontierSize(), f.Time(), f.FrontierSize())
+		}
+		sd, err := st.Distribution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := f.Distribution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sd) != len(fd) {
+			t.Fatalf("step %d: distribution sizes diverge", k)
+		}
+		for i := range sd {
+			if sd[i].Loc != fd[i].Loc || math.Float64bits(sd[i].P) != math.Float64bits(fd[i].P) {
+				t.Fatalf("step %d entry %d: state %+v, filter %+v", k, i, sd[i], fd[i])
+			}
+		}
+	}
+}
+
+// TestBuildStateValidation mirrors Filter.Observe's candidate validation,
+// including the duplicate-location rejection.
+func TestBuildStateValidation(t *testing.T) {
+	st := NewBuildState(nil)
+	if err := st.Observe(nil); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+	if err := st.Observe([]Candidate{{Loc: -1, P: 1}}); err == nil {
+		t.Fatal("negative location accepted")
+	}
+	if err := st.Observe([]Candidate{{Loc: 0, P: 0}}); err == nil {
+		t.Fatal("zero probability accepted")
+	}
+	if err := st.Observe([]Candidate{{Loc: 0, P: 0.5}, {Loc: 0, P: 0.5}}); err == nil {
+		t.Fatal("duplicate locations accepted")
+	}
+	if _, err := st.Smooth(nil); err == nil {
+		t.Fatal("smooth of an empty state succeeded")
+	}
+	if err := st.Observe([]Candidate{{Loc: 0, P: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := st.Smooth(&Options{EndLatency: constraints.LenientEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Duration() != 1 {
+		t.Fatalf("duration: got %d, want 1", g.Duration())
+	}
+}
+
+// TestBuildStateInternerRebuild exercises the TL interner cap on a long
+// stream, mirroring the Filter's bound.
+func TestBuildStateInternerRebuild(t *testing.T) {
+	ls, ic := benchScenario()
+	st := NewBuildState(ic)
+	st.internCap = 8
+	for k := 0; k < ls.Duration(); k++ {
+		if err := st.Observe(ls.Steps[k].Candidates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.InternerRebuilds() == 0 {
+		t.Fatal("interner never rebuilt despite a tiny cap")
+	}
+	got, err := st.Smooth(&Options{EndLatency: constraints.LenientEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(ls, ic, &Options{EndLatency: constraints.LenientEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsBitIdentical(t, want, got)
+}

@@ -131,14 +131,60 @@ func (l *Log) Close() error {
 // written (even on error, for size accounting).
 func writeFrame(w io.Writer, payload []byte) (int, error) {
 	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	frameHeader(&hdr, payload)
 	n, err := w.Write(hdr[:])
 	if err != nil {
 		return n, err
 	}
 	m, err := w.Write(payload)
 	return n + m, err
+}
+
+func frameHeader(hdr *[frameHeaderLen]byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+}
+
+// FrameOverhead is the fixed per-frame byte cost of AppendFrame.
+const FrameOverhead = frameHeaderLen
+
+// AppendFrame appends payload to dst as one length+CRC32 frame — the exact
+// format Log and WriteLogAtomic use on disk — and returns the extended
+// buffer. It lets other layers (e.g. the server's binary wire codec) reuse
+// this package's framing for in-memory buffers.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	frameHeader(&hdr, payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// ErrBadFrame reports a frame that is truncated, oversized, or fails its
+// checksum.
+var ErrBadFrame = errors.New("persist: bad frame")
+
+// ParseFrame reads one frame from the front of buf, returning its payload
+// (aliasing buf, not copied) and the remaining bytes. It fails with an error
+// wrapping ErrBadFrame on a truncated header or payload, an oversized length
+// prefix, or a checksum mismatch.
+func ParseFrame(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < frameHeaderLen {
+		return nil, nil, fmt.Errorf("%w: %d-byte buffer is shorter than the header", ErrBadFrame, len(buf))
+	}
+	length := binary.LittleEndian.Uint32(buf[:4])
+	sum := binary.LittleEndian.Uint32(buf[4:frameHeaderLen])
+	if length > maxRecordBytes {
+		return nil, nil, fmt.Errorf("%w: length prefix %d exceeds the record limit", ErrBadFrame, length)
+	}
+	body := buf[frameHeaderLen:]
+	if uint32(len(body)) < length {
+		return nil, nil, fmt.Errorf("%w: payload cut short (%d of %d bytes)", ErrBadFrame, len(body), length)
+	}
+	payload = body[:length]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return payload, body[length:], nil
 }
 
 // ReplayLog reads the record log at path, calling fn for each intact record

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"os"
@@ -279,6 +280,64 @@ func BenchmarkLogAppendSync(b *testing.B) {
 			if err := l.Sync(); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), []byte(`{"op":"put"}`), make([]byte, 4096)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		payload, tail, err := ParseFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+		rest = tail
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after the last frame", len(rest))
+	}
+}
+
+func TestFrameMatchesLogFormat(t *testing.T) {
+	// AppendFrame must produce the exact on-disk bytes writeFrame does, so
+	// the wire codec and the durability layer stay one format.
+	rec := Record{Op: "put", ID: "t1", Data: []byte(`{"k":1}`)}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fileBuf bytes.Buffer
+	if _, err := writeFrame(&fileBuf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := AppendFrame(nil, payload); !bytes.Equal(got, fileBuf.Bytes()) {
+		t.Fatal("AppendFrame bytes differ from writeFrame bytes")
+	}
+}
+
+func TestParseFrameRejectsCorruption(t *testing.T) {
+	good := AppendFrame(nil, []byte("payload"))
+	cases := map[string][]byte{
+		"short header":      good[:FrameOverhead-1],
+		"truncated payload": good[:len(good)-1],
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[FrameOverhead] ^= 0x01
+	cases["checksum mismatch"] = flipped
+	absurd := append([]byte(nil), good...)
+	absurd[3] = 0xff // length prefix far beyond the record limit
+	cases["oversized length"] = absurd
+	for name, buf := range cases {
+		if _, _, err := ParseFrame(buf); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
 		}
 	}
 }

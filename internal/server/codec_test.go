@@ -1,0 +1,178 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	rfidclean "repro"
+	"repro/internal/persist"
+)
+
+func TestCodecReadingsRoundTrip(t *testing.T) {
+	want := []rfidclean.Reading{
+		{Time: 0, Readers: rfidclean.NewReaderSet(2, 0, 7)},
+		{Time: 1, Readers: rfidclean.NewReaderSet()}, // missed read
+		{Time: 2, Readers: rfidclean.NewReaderSet(5)},
+		{Time: 300, Readers: rfidclean.NewReaderSet(1, 2, 3, 4, 128)},
+	}
+	got, err := DecodeStreamReadings(EncodeStreamReadings(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d readings, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Time != want[i].Time || !got[i].Readers.Equal(want[i].Readers) {
+			t.Errorf("reading %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got, err := DecodeStreamReadings(EncodeStreamReadings(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestCodecStatusRoundTrip(t *testing.T) {
+	want := StreamStatus{
+		ID:         "s42",
+		Deployment: "d1",
+		Time:       17,
+		Readings:   18,
+		Frontier:   5,
+		Beam:       3,
+		Dead:       true,
+		Current: []LocationProb{
+			{Location: "corridor", P: 0.625},
+			{Location: "lab", P: 0.375},
+			{Location: "office", P: math.Nextafter(0, 1)}, // smallest subnormal survives
+		},
+	}
+	got, err := DecodeStreamStatus(EncodeStreamStatus(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Deployment != want.Deployment || got.Time != want.Time ||
+		got.Readings != want.Readings || got.Frontier != want.Frontier ||
+		got.Beam != want.Beam || got.Dead != want.Dead || len(got.Current) != len(want.Current) {
+		t.Fatalf("status = %+v, want %+v", got, want)
+	}
+	for i := range want.Current {
+		if got.Current[i].Location != want.Current[i].Location ||
+			math.Float64bits(got.Current[i].P) != math.Float64bits(want.Current[i].P) {
+			t.Errorf("entry %d = %+v, want bit-identical %+v", i, got.Current[i], want.Current[i])
+		}
+	}
+
+	// A fresh session: Time -1, no distribution.
+	fresh := StreamStatus{ID: "s1", Deployment: "d1", Time: -1}
+	got, err = DecodeStreamStatus(EncodeStreamStatus(fresh))
+	if err != nil || got.Time != -1 || got.Current != nil {
+		t.Fatalf("fresh status round trip = %+v, %v", got, err)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	good := EncodeStreamReadings([]rfidclean.Reading{{Time: 0, Readers: rfidclean.NewReaderSet(1)}})
+	cases := map[string][]byte{
+		"empty body":      nil,
+		"truncated frame": good[:len(good)-1],
+		"trailing bytes":  append(append([]byte(nil), good...), 0x00),
+		"status frame":    EncodeStreamStatus(StreamStatus{ID: "s1"}),
+	}
+	// A payload claiming more readings than bytes remain must error, not
+	// allocate gigabytes.
+	absurd := persist.AppendFrame(nil, []byte{codecKindReadings, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	cases["absurd count"] = absurd
+	// Truncated inside the varint stream (CRC recomputed so only the codec
+	// layer can object).
+	payload := []byte{codecKindReadings, 2, 0, 1, 2} // says 2 readings, carries ~1
+	cases["short payload"] = persist.AppendFrame(nil, payload)
+	for name, buf := range cases {
+		if _, err := DecodeStreamReadings(buf); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	if _, err := DecodeStreamStatus(good); err == nil {
+		t.Error("status decode accepted a readings frame")
+	}
+}
+
+func TestCodecNegotiation(t *testing.T) {
+	req := func(ct, accept string) *http.Request {
+		r, err := http.NewRequest(http.MethodPost, "/v1/stream/s1/readings", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct != "" {
+			r.Header.Set("Content-Type", ct)
+		}
+		if accept != "" {
+			r.Header.Set("Accept", accept)
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		ct, accept   string
+		body, answer bool
+	}{
+		{"", "", false, false},
+		{"application/json", "application/json", false, false},
+		{ContentTypeBinary, "", true, false},
+		{ContentTypeBinary + "; q=1", ContentTypeBinary, true, true},
+		{"", "application/json, " + ContentTypeBinary, false, true},
+		{"", "*/*", false, false}, // wildcard keeps JSON
+	} {
+		r := req(tc.ct, tc.accept)
+		if got := requestIsBinary(r); got != tc.body {
+			t.Errorf("requestIsBinary(ct=%q) = %v, want %v", tc.ct, got, tc.body)
+		}
+		if got := acceptsBinary(r); got != tc.answer {
+			t.Errorf("acceptsBinary(accept=%q) = %v, want %v", tc.accept, got, tc.answer)
+		}
+	}
+}
+
+// benchReadings builds a 500-reading batch shaped like real traffic: mostly
+// single-reader detections with some multi-reader overlaps and missed reads.
+func benchReadings() []rfidclean.Reading {
+	rs := make([]rfidclean.Reading, 500)
+	for i := range rs {
+		switch i % 7 {
+		case 0:
+			rs[i] = rfidclean.Reading{Time: i, Readers: rfidclean.NewReaderSet()}
+		case 3:
+			rs[i] = rfidclean.Reading{Time: i, Readers: rfidclean.NewReaderSet(i%5, (i+1)%5)}
+		default:
+			rs[i] = rfidclean.Reading{Time: i, Readers: rfidclean.NewReaderSet(i % 5)}
+		}
+	}
+	return rs
+}
+
+// BenchmarkCodecEncodeReadings measures framing a 500-reading batch into the
+// binary wire format (the hot ingestion path under application/x-rfidclean).
+func BenchmarkCodecEncodeReadings(b *testing.B) {
+	rs := benchReadings()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf := EncodeStreamReadings(rs); len(buf) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkCodecDecodeReadings measures parsing and CRC-checking the same
+// batch back out.
+func BenchmarkCodecDecodeReadings(b *testing.B) {
+	buf := EncodeStreamReadings(benchReadings())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeStreamReadings(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

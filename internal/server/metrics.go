@@ -162,6 +162,7 @@ type metrics struct {
 	observeSeconds *histogram
 	streamReaped   counter
 	streamEvicted  counter
+	streamSmooths  *labeled // {mode: incremental|full}
 
 	// Resource bounds and liveness.
 	deployments    gauge
@@ -200,6 +201,7 @@ func newMetrics() *metrics {
 		observeSeconds: newHistogram(
 			0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1,
 		),
+		streamSmooths: newLabeled("mode"),
 		persistFlushSeconds: newHistogram(
 			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1,
 		),
@@ -267,6 +269,8 @@ func (m *metrics) writeTo(w io.Writer) {
 		"Streaming sessions closed by the idle-TTL reaper.", &m.streamReaped)
 	writeCounter(w, "rfidclean_stream_evicted_total",
 		"Streaming sessions evicted to admit new ones at the session cap.", &m.streamEvicted)
+	writeLabeled(w, "rfidclean_stream_smooths_total",
+		"Stream smoothing operations, by rebuild mode (incremental reuses the session's live forward state; full rebuilds from the buffered readings).", m.streamSmooths)
 	writeGauge(w, "rfidclean_deployments",
 		"Deployments currently registered.", &m.deployments)
 	writeCounter(w, "rfidclean_body_rejections_total",

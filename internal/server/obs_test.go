@@ -383,7 +383,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 
 	// With a running reaper: every closer must wait for the drain.
 	st := newSessionStore(Options{SessionTTL: time.Hour}, newMetrics())
-	if st.open(&deployment{id: "d"}, rfidclean.ConstraintParams{}, nil) == nil {
+	if st.open(&deployment{id: "d"}, rfidclean.ConstraintParams{}, nil, nil, nil) == nil {
 		t.Fatal("open returned nil before close")
 	}
 	if !st.reaping {
@@ -403,7 +403,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if st.open(&deployment{id: "d"}, rfidclean.ConstraintParams{}, nil) != nil {
+	if st.open(&deployment{id: "d"}, rfidclean.ConstraintParams{}, nil, nil, nil) != nil {
 		t.Fatal("open succeeded after close")
 	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -17,19 +18,27 @@ import (
 // This file implements streaming ingestion sessions — the live-tracking
 // counterpart of the batch /v1/clean endpoints. A session pins a deployment
 // and a constraint set and feeds timestamped reader sets, as they arrive,
-// through the deployment prior into a per-session core.Filter. At any point
-// the client can read the *filtered* distribution of the object's current
-// location (conditioned on the past only — the best an online cleaner can
-// do); on demand, or when the session closes, the buffered sequence is
-// re-cleaned offline with Algorithm 1 so the client gets the *smoothed*
-// answer the ct-graph would give, stored in the trajectory store where the
-// usual query endpoints apply.
+// through the deployment prior into a per-session incremental build state
+// (core.BuildState), which keeps Algorithm 1's forward pass alive across
+// readings. At any point the client can read the *filtered* distribution of
+// the object's current location (conditioned on the past only — the best an
+// online cleaner can do); on demand, or when the session closes, smoothing
+// re-runs only the backward/revise suffix the newest readings can
+// invalidate and yields a ct-graph bit-identical to a full offline rebuild,
+// stored in the trajectory store where the usual query endpoints apply.
+// Sessions opened with a beam width route filtering through a core.Filter
+// (the beam cap is a frontier approximation BuildState does not make) but
+// still smooth incrementally through the exact state.
 //
 //	POST   /v1/stream                     StreamOpenRequest -> {"id": ...}
 //	POST   /v1/stream/{id}/readings      append readings -> StreamStatus
 //	GET    /v1/stream/{id}[?top=k]       current filtered distribution
 //	POST   /v1/stream/{id}/smooth        offline re-clean -> CleanResponse
 //	DELETE /v1/stream/{id}[?smooth=no]   close (smoothing by default)
+//
+// The readings POST and the status GET also speak a compact binary codec
+// (see codec.go), negotiated per request via Content-Type / Accept:
+// application/x-rfidclean.
 //
 // Sessions are bounded three ways: a beam width caps each filter's frontier
 // (an approximation trade documented on FilterOptions), a per-session
@@ -46,20 +55,41 @@ const (
 	DefaultMaxSessionReadings = 1 << 16
 )
 
-// streamSession is one live-tracking session. Its mutex serializes filter
+// streamSession is one live-tracking session. Its mutex serializes state
 // advancement and buffer appends; lastActive is atomic so the reaper can
 // scan sessions without contending with a slow Observe.
 type streamSession struct {
 	id   string
 	dep  *deployment
 	prms rfidclean.ConstraintParams
+	// ic pins the constraint set the session's state was built under.
+	// smoothLocked compares it against the cache's current answer for prms:
+	// a pointer change means the cache was recalibrated or cycled under us,
+	// so the incremental state is stale and smoothing falls back to a full
+	// rebuild.
+	ic *rfidclean.ConstraintSet
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// state is the incremental build: one forward level per accepted
+	// reading, smoothed on demand. It also answers frontier queries for
+	// exact (beam-less) sessions.
+	state *rfidclean.BuildState
+	// filter is non-nil only for beam-capped sessions, where the bounded
+	// frontier it maintains is the distribution the client asked for.
 	filter   *rfidclean.Filter
-	readings rfidclean.ReadingSequence // buffered for offline smoothing
+	readings rfidclean.ReadingSequence // buffered for smoothing fallback
 	dead     bool                      // constraints ruled out every continuation
 
 	lastActive atomic.Int64 // unix nanoseconds
+}
+
+// time returns the last observed timestamp (-1 before the first reading);
+// the caller holds ss.mu.
+func (ss *streamSession) time() int {
+	if ss.filter != nil {
+		return ss.filter.Time()
+	}
+	return ss.state.Time()
 }
 
 func (ss *streamSession) touch() { ss.lastActive.Store(time.Now().UnixNano()) }
@@ -144,7 +174,7 @@ func (st *sessionStore) isGone(id string) bool {
 // evicted to make room — live tracking favors fresh streams over stale ones,
 // and an evicted client can always re-open and re-send. Returns nil when the
 // store has been closed.
-func (st *sessionStore) open(dep *deployment, prms rfidclean.ConstraintParams, f *rfidclean.Filter) *streamSession {
+func (st *sessionStore) open(dep *deployment, prms rfidclean.ConstraintParams, ic *rfidclean.ConstraintSet, state *rfidclean.BuildState, f *rfidclean.Filter) *streamSession {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
@@ -158,6 +188,8 @@ func (st *sessionStore) open(dep *deployment, prms rfidclean.ConstraintParams, f
 		id:     "s" + strconv.Itoa(st.next),
 		dep:    dep,
 		prms:   prms,
+		ic:     ic,
+		state:  state,
 		filter: f,
 	}
 	s.touch()
@@ -360,8 +392,12 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "constraint inference: %v", err)
 		return
 	}
-	f := rfidclean.NewFilter(ic, &rfidclean.FilterOptions{Beam: req.Beam})
-	sess := s.sessions.open(dep, prms, f)
+	state := rfidclean.NewBuildState(ic)
+	var f *rfidclean.Filter
+	if req.Beam > 0 {
+		f = rfidclean.NewFilter(ic, &rfidclean.FilterOptions{Beam: req.Beam})
+	}
+	sess := s.sessions.open(dep, prms, ic, state, f)
 	if sess == nil {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
@@ -405,15 +441,32 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 // statusLocked renders the session's progress; the caller holds sess.mu.
 func statusLocked(sess *streamSession) StreamStatus {
-	return StreamStatus{
+	st := StreamStatus{
 		ID:         sess.id,
 		Deployment: sess.dep.id,
-		Time:       sess.filter.Time(),
+		Time:       sess.time(),
 		Readings:   len(sess.readings),
-		Frontier:   sess.filter.FrontierSize(),
-		Beam:       sess.filter.Beam(),
 		Dead:       sess.dead,
 	}
+	if sess.filter != nil {
+		st.Frontier = sess.filter.FrontierSize()
+		st.Beam = sess.filter.Beam()
+	} else {
+		st.Frontier = sess.state.FrontierSize()
+	}
+	return st
+}
+
+// writeStreamStatus writes a status response in the negotiated codec.
+func writeStreamStatus(w http.ResponseWriter, r *http.Request, code int, st StreamStatus) {
+	if acceptsBinary(r) {
+		buf := EncodeStreamStatus(st)
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(code)
+		w.Write(buf)
+		return
+	}
+	writeJSON(w, code, st)
 }
 
 // handleStreamReadings appends readings to the session and advances the
@@ -424,7 +477,18 @@ func statusLocked(sess *streamSession) StreamStatus {
 // mid-batch error the already-observed prefix is kept.
 func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, sess *streamSession) {
 	var req StreamReadingsRequest
-	if !s.decodeBody(w, r, &req) {
+	if requestIsBinary(r) {
+		s.limitBody(w, r)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			s.bodyError(w, err)
+			return
+		}
+		if req.Readings, err = DecodeStreamReadings(body); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid binary readings: %v", err)
+			return
+		}
+	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Readings) == 0 {
@@ -439,7 +503,7 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 	defer sess.touch()
 	if sess.dead {
 		s.metrics.streamReadings.inc("dead_session")
-		writeError(w, http.StatusGone, "session %s hit a dead end at timestamp %d and accepts no more readings", sess.id, sess.filter.Time()+1)
+		writeError(w, http.StatusGone, "session %s hit a dead end at timestamp %d and accepts no more readings", sess.id, sess.time()+1)
 		return
 	}
 	for _, reading := range req.Readings {
@@ -465,8 +529,19 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 			writeError(w, http.StatusBadRequest, "timestamp %d: %v", reading.Time, err)
 			return
 		}
+		// Beam sessions observe the filter first: its frontier is a subset
+		// of the exact state's, so a reading the filter accepts cannot
+		// dead-end the state, and a reading the filter rejects leaves the
+		// state covering exactly the buffered prefix. (A beam dead end is
+		// an approximation artifact — the exact state may still be alive —
+		// but the session dies either way: its filtered answers are gone.)
 		start := time.Now()
-		err = sess.filter.Observe(cands)
+		if sess.filter != nil {
+			err = sess.filter.Observe(cands)
+		}
+		if err == nil {
+			err = sess.state.Observe(cands)
+		}
 		s.metrics.observeSeconds.observe(time.Since(start).Seconds())
 		if errors.Is(err, rfidclean.ErrNoValidTrajectory) {
 			sess.dead = true
@@ -482,7 +557,7 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 		sess.readings = append(sess.readings, reading)
 		s.metrics.streamReadings.inc("ok")
 	}
-	writeJSON(w, http.StatusOK, statusLocked(sess))
+	writeStreamStatus(w, r, http.StatusOK, statusLocked(sess))
 }
 
 // handleStreamStatus serves the current filtered distribution; ?top=k caps
@@ -500,15 +575,20 @@ func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request, sess
 	defer sess.mu.Unlock()
 	sess.touch()
 	st := statusLocked(sess)
-	if sess.filter.Time() >= 0 {
+	if sess.time() >= 0 {
 		var (
 			dist []rfidclean.LocProb
 			err  error
 		)
-		if top > 0 {
+		switch {
+		case sess.filter != nil && top > 0:
 			dist, err = sess.filter.TopLocations(top)
-		} else {
+		case sess.filter != nil:
 			dist, err = sess.filter.Distribution()
+		case top > 0:
+			dist, err = sess.state.TopLocations(top)
+		default:
+			dist, err = sess.state.Distribution()
 		}
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
@@ -519,12 +599,18 @@ func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request, sess
 			st.Current[i] = LocationProb{Location: sess.dep.sys.Plan.Location(lp.Loc).Name, P: lp.P}
 		}
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeStreamStatus(w, r, http.StatusOK, st)
 }
 
-// smoothLocked re-cleans the buffered sequence offline (LenientEnd, so the
-// final timestamp agrees with the filtered answer) and stores the ct-graph
-// in the trajectory store. The caller holds sess.mu.
+// smoothLocked conditions the buffered sequence (LenientEnd, so the final
+// timestamp agrees with the filtered answer) and stores the ct-graph in the
+// trajectory store. The fast path reuses the session's incremental build
+// state — only the backward/revise suffix the newest readings can
+// invalidate is recomputed, and the result is bit-identical to a full
+// rebuild. It falls back to a full offline CleanCtx when the constraint
+// cache no longer returns the set the state was built under (recalibration
+// or cache cycling) or when the state does not cover the whole buffer. The
+// caller holds sess.mu.
 func (s *Server) smoothLocked(ctx context.Context, sess *streamSession) (CleanResponse, int, error) {
 	if len(sess.readings) == 0 {
 		return CleanResponse{}, http.StatusUnprocessableEntity,
@@ -537,13 +623,22 @@ func (s *Server) smoothLocked(ctx context.Context, sess *streamSession) (CleanRe
 	if err != nil {
 		return CleanResponse{}, http.StatusInternalServerError, err
 	}
-	cleaned, err := sess.dep.sys.CleanCtx(ctx, sess.readings, ic, &rfidclean.BuildOptions{
+	opts := &rfidclean.BuildOptions{
 		EndLatency: rfidclean.LenientEnd,
 		Explain:    &rfidclean.BuildExplain{},
-	})
+	}
+	var cleaned *rfidclean.Cleaned
+	mode := "full"
+	if sess.state != nil && sess.ic == ic && sess.state.Duration() == len(sess.readings) {
+		mode = "incremental"
+		cleaned, err = sess.dep.sys.SmoothState(sess.state, opts)
+	} else {
+		cleaned, err = sess.dep.sys.CleanCtx(ctx, sess.readings, ic, opts)
+	}
+	s.metrics.streamSmooths.inc(mode)
 	if err != nil {
-		// The filter accepted this prefix, so the exact build can only fail
-		// on internal errors, not on constraint violations.
+		// The forward pass accepted this prefix, so conditioning can only
+		// fail on internal errors, not on constraint violations.
 		return CleanResponse{}, http.StatusInternalServerError, err
 	}
 	s.metrics.recordExplain(cleaned.Explain())
@@ -582,12 +677,17 @@ type StreamCloseResponse struct {
 // handleStreamClose serves DELETE /v1/stream/{id}. By default the buffered
 // sequence is smoothed one last time so the client walks away with the
 // ct-graph answer; ?smooth=no (or false/0) skips that, as does an empty
-// buffer.
+// buffer. Any other ?smooth= value is rejected up front — a typo like
+// ?smooth=nope used to silently smooth, the opposite of what was asked.
 func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request, sess *streamSession) {
 	smooth := true
-	switch strings.ToLower(r.URL.Query().Get("smooth")) {
+	switch q := strings.ToLower(r.URL.Query().Get("smooth")); q {
+	case "", "yes", "true", "1":
 	case "no", "false", "0":
 		smooth = false
+	default:
+		writeError(w, http.StatusBadRequest, "invalid ?smooth=%q (want yes/true/1 or no/false/0)", q)
+		return
 	}
 	if !s.sessions.remove(sess.id) {
 		// Lost the race with the reaper, an eviction, or a concurrent close:

@@ -626,3 +626,235 @@ func TestStreamHealthz(t *testing.T) {
 		t.Fatalf("healthz sessions = %v, want 2", health["sessions"])
 	}
 }
+
+// TestStreamIncrementalSmoothMatchesBatchClean is the server-level half of
+// the bit-identity property: smoothing a live session (which reuses the
+// incremental build state) must store a trajectory whose marginals equal the
+// batch /v1/clean answer over the same readings, and the smooth must be
+// counted under the incremental mode.
+func TestStreamIncrementalSmoothMatchesBatchClean(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	readings := testReadings(t, sys, 131, 45)
+
+	sid := openStream(t, base, depID, 0)
+	feedOneByOne(t, base, sid, readings)
+	resp, body := postJSON(t, base+"/v1/stream/"+sid+"/smooth", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("smooth status = %d: %s", resp.StatusCode, body)
+	}
+	var smoothed CleanResponse
+	if err := json.Unmarshal(body, &smoothed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch clean under the same constraints and LenientEnd (the stream
+	// smoothing semantics).
+	resp, body = postJSON(t, base+"/v1/clean", CleanRequest{
+		Deployment: depID, Readings: readings, MaxSpeed: 2, MinStay: 5,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("batch clean status = %d: %s", resp.StatusCode, body)
+	}
+	var batch CleanResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if smoothed.Nodes != batch.Nodes || smoothed.Edges != batch.Edges {
+		t.Fatalf("graph shape differs: stream %+v vs batch %+v", smoothed, batch)
+	}
+	for _, tau := range []int{0, 1, len(readings) / 2, len(readings) - 1} {
+		var a, b []LocationProb
+		if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/stay?t=%d", base, smoothed.ID, tau), &a); code != http.StatusOK {
+			t.Fatalf("stream stay t=%d status = %d", tau, code)
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/v1/trajectories/%s/stay?t=%d", base, batch.ID, tau), &b); code != http.StatusOK {
+			t.Fatalf("batch stay t=%d status = %d", tau, code)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("t=%d support differs: %v vs %v", tau, a, b)
+		}
+		for i := range a {
+			// JSON float round-trips are exact, so equality here is bit
+			// equality of the underlying marginals.
+			if a[i] != b[i] {
+				t.Errorf("t=%d entry %d: stream %+v vs batch %+v", tau, i, a[i], b[i])
+			}
+		}
+	}
+
+	if m := scrape(t, base); !strings.Contains(m, `rfidclean_stream_smooths_total{mode="incremental"} 1`) {
+		t.Errorf("metrics missing the incremental smooth count")
+	}
+}
+
+// TestStreamBinaryCodec drives the readings POST and status GET through the
+// binary codec and checks the answers agree bit-for-bit with a JSON twin
+// session fed the same readings.
+func TestStreamBinaryCodec(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	readings := testReadings(t, sys, 909, 30)
+
+	jsonSid := openStream(t, base, depID, 0)
+	feedOneByOne(t, base, jsonSid, readings)
+	want := streamStatus(t, base, jsonSid, 0)
+
+	binSid := openStream(t, base, depID, 0)
+	for i := 0; i < len(readings); i += 5 {
+		end := i + 5
+		if end > len(readings) {
+			end = len(readings)
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/stream/"+binSid+"/readings",
+			bytes.NewReader(EncodeStreamReadings(readings[i:end])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ContentTypeBinary)
+		req.Header.Set("Accept", ContentTypeBinary)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("binary chunk at %d status = %d", i, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != ContentTypeBinary {
+			t.Fatalf("response Content-Type = %q", ct)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		st, err := DecodeStreamStatus(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Time != end-1 || st.Readings != end {
+			t.Fatalf("binary status after chunk at %d = %+v", i, st)
+		}
+	}
+
+	// GET with Accept negotiation.
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/stream/"+binSid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary GET status = %d", resp.StatusCode)
+	}
+	got, err := DecodeStreamStatus(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time || got.Readings != want.Readings || got.Frontier != want.Frontier ||
+		len(got.Current) != len(want.Current) {
+		t.Fatalf("binary status %+v, JSON twin %+v", got, want)
+	}
+	for i := range want.Current {
+		if got.Current[i].Location != want.Current[i].Location ||
+			math.Float64bits(got.Current[i].P) != math.Float64bits(want.Current[i].P) {
+			t.Errorf("entry %d: binary %+v vs JSON %+v", i, got.Current[i], want.Current[i])
+		}
+	}
+
+	// A malformed binary body is a plain 400, not a hang or a 500.
+	req, err = http.NewRequest(http.MethodPost, base+"/v1/stream/"+binSid+"/readings",
+		bytes.NewReader([]byte{0x01, 0x02, 0x03}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage binary body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamCloseSmoothParam: the ?smooth= flag accepts only yes/no spellings;
+// junk is 400 and leaves the session open (a typo like ?smooth=nope used to
+// silently smooth — the opposite of what was asked).
+func TestStreamCloseSmoothParam(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	readings := testReadings(t, sys, 14, 10)
+
+	del := func(sid, query string) (int, StreamCloseResponse) {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/stream/"+sid+query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out StreamCloseResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, out
+	}
+
+	sid := openStream(t, base, depID, 0)
+	feedOneByOne(t, base, sid, readings)
+	for _, junk := range []string{"?smooth=nope", "?smooth=yess", "?smooth=2"} {
+		if code, _ := del(sid, junk); code != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", junk, code)
+		}
+	}
+	// The rejected closes must not have closed the session.
+	if st := streamStatus(t, base, sid, 0); st.Readings != len(readings) {
+		t.Fatalf("session state after rejected closes: %+v", st)
+	}
+	if code, out := del(sid, "?smooth=no"); code != http.StatusOK || out.Trajectory != nil {
+		t.Fatalf("smooth=no close: status %d, %+v", code, out)
+	}
+
+	sid = openStream(t, base, depID, 0)
+	feedOneByOne(t, base, sid, readings)
+	if code, out := del(sid, "?smooth=TRUE"); code != http.StatusOK || out.Trajectory == nil {
+		t.Fatalf("smooth=TRUE close: status %d, %+v", code, out)
+	}
+}
+
+// TestStreamStatusTopParam: unparseable and non-positive ?top= values are
+// typed 400s, not silently treated as "no cap".
+func TestStreamStatusTopParam(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{})
+	sid := openStream(t, base, depID, 0)
+	feedOneByOne(t, base, sid, testReadings(t, sys, 3, 5))
+	for _, junk := range []string{"abc", "1.5", "0", "-3", "%20"} {
+		resp, err := http.Get(base + "/v1/stream/" + sid + "?top=" + junk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e apiError
+		decErr := json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?top=%s status = %d, want 400", junk, resp.StatusCode)
+		} else if decErr != nil || e.Error == "" {
+			t.Errorf("?top=%s: missing apiError body (%v)", junk, decErr)
+		}
+	}
+	if st := streamStatus(t, base, sid, 2); len(st.Current) > 2 {
+		t.Errorf("?top=2 returned %d entries", len(st.Current))
+	}
+}

@@ -189,11 +189,23 @@ type (
 	// LocProb is one (location ID, probability) entry of a filtered
 	// distribution, as returned by Filter.Distribution/TopLocations.
 	LocProb = core.LocProb
+	// BuildState keeps Algorithm 1's forward pass alive across readings so
+	// streaming sessions can smooth incrementally: Observe appends one
+	// timestamp, Smooth reconditions only the suffix the newest readings
+	// can invalidate and returns a graph bit-identical to a full offline
+	// build over the same readings. It also answers the exact (beam-less)
+	// Filter's frontier queries.
+	BuildState = core.BuildState
 )
 
 // NewFilter returns a streaming cleaner over the given constraints.
 func NewFilter(ic *ConstraintSet, opts *FilterOptions) *Filter {
 	return core.NewFilter(ic, opts)
+}
+
+// NewBuildState returns an incremental build over the given constraints.
+func NewBuildState(ic *ConstraintSet) *BuildState {
+	return core.NewBuildState(ic)
 }
 
 // DecodeCTGraph reads a ct-graph previously written with CTGraph.Encode,
@@ -406,6 +418,21 @@ func (s *System) CleanGroupCtx(ctx context.Context, readings []ReadingSequence, 
 		return nil, err
 	}
 	return newCleanedExplained(g, s.Plan, opts, derive), nil
+}
+
+// SmoothState conditions the readings observed so far by an incremental
+// BuildState and wraps the result exactly like Clean wraps a full build: the
+// returned Cleaned carries the same query engine, and, when opts.Explain is
+// set, an explain report whose counters match a full build's (DeriveNanos is
+// zero — the l-sequence derivation already happened reading by reading, on
+// the Candidates path). The result is independent of the state: the session
+// may keep observing and smoothing without invalidating it.
+func (s *System) SmoothState(st *BuildState, opts *BuildOptions) (*Cleaned, error) {
+	g, err := st.Smooth(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newCleanedExplained(g, s.Plan, opts, 0), nil
 }
 
 // Candidates converts one reading's detecting-reader set into the candidate
