@@ -21,8 +21,14 @@
 //	curl -X POST :8080/v1/stream -d '{"deployment":"d1","maxSpeed":2,"minStay":5}'
 //	curl -X POST :8080/v1/stream/s1/readings -d '{"readings":[{"time":0,"readers":[3]}]}'
 //	curl ':8080/v1/stream/s1?top=3'
+//	curl -N ':8080/v1/stream/s1/events'   # SSE: pushed delta/smooth/close events
 //	curl -X POST :8080/v1/stream/s1/smooth
 //	curl -X DELETE :8080/v1/stream/s1
+//
+// Event fan-out is tuned with -sse-buffer (events buffered per subscriber
+// before a slow consumer is dropped), -sse-history (Last-Event-ID resume
+// window), and -sse-heartbeat (idle-stream keepalive comments); cmd/rfidedge
+// is the matching reader-side adapter that feeds sessions from hardware.
 //
 // With -demo, the server starts preloaded with the SYN1 deployment so the
 // API can be exercised immediately. -max-body caps POST body sizes,
@@ -84,6 +90,9 @@ type config struct {
 	maxSessions        int
 	sessionTTL         time.Duration
 	maxSessionReadings int
+	subscriberBuffer   int
+	eventHistory       int
+	sseHeartbeat       time.Duration
 	pprof              bool
 	drain              time.Duration
 	logLevel           string
@@ -122,6 +131,9 @@ func main() {
 	flag.IntVar(&cfg.maxSessions, "max-sessions", server.DefaultMaxSessions, "max open streaming sessions; past it the least-recently-active session is evicted (<= 0 removes the cap)")
 	flag.DurationVar(&cfg.sessionTTL, "session-ttl", server.DefaultSessionTTL, "idle streaming sessions are reaped after this long (<= 0 disables reaping)")
 	flag.IntVar(&cfg.maxSessionReadings, "max-session-readings", server.DefaultMaxSessionReadings, "max readings a streaming session buffers for smoothing (<= 0 removes the cap)")
+	flag.IntVar(&cfg.subscriberBuffer, "sse-buffer", server.DefaultSubscriberBuffer, "events buffered per SSE subscriber; a subscriber that falls this far behind is dropped")
+	flag.IntVar(&cfg.eventHistory, "sse-history", server.DefaultEventHistory, "recent events each session retains for Last-Event-ID resume (<= 0 disables resume)")
+	flag.DurationVar(&cfg.sseHeartbeat, "sse-heartbeat", server.DefaultSSEHeartbeat, "comment interval on idle SSE event streams (<= 0 disables heartbeats)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.DurationVar(&cfg.drain, "drain-timeout", 10*time.Second, "how long to drain in-flight requests on shutdown")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log verbosity: debug, info, warn or error (debug includes /healthz and /metrics access lines)")
@@ -159,6 +171,14 @@ func run(ctx context.Context, cfg config) error {
 	if maxSessionReadings <= 0 {
 		maxSessionReadings = -1
 	}
+	eventHistory := cfg.eventHistory
+	if eventHistory <= 0 {
+		eventHistory = -1
+	}
+	sseHeartbeat := cfg.sseHeartbeat
+	if sseHeartbeat <= 0 {
+		sseHeartbeat = -1
+	}
 	level, err := parseLogLevel(cfg.logLevel)
 	if err != nil {
 		return err
@@ -171,6 +191,9 @@ func run(ctx context.Context, cfg config) error {
 		MaxSessions:        maxSessions,
 		SessionTTL:         sessionTTL,
 		MaxSessionReadings: maxSessionReadings,
+		SubscriberBuffer:   cfg.subscriberBuffer,
+		EventHistory:       eventHistory,
+		SSEHeartbeat:       sseHeartbeat,
 		Logger:             logger,
 		TraceBuffer:        cfg.traceBuffer,
 		DataDir:            cfg.dataDir,
@@ -218,6 +241,11 @@ func run(ctx context.Context, cfg config) error {
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// SSE event streams never finish on their own, so a graceful Shutdown
+	// would otherwise hang on them for the whole drain timeout; this hook
+	// pushes a terminal close event to every subscriber the moment the
+	// drain starts, letting their handlers return promptly.
+	httpServer.RegisterOnShutdown(srv.DrainSubscribers)
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.Serve(ln) }()
 

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	rfidclean "repro"
+	"repro/internal/dataset"
+)
+
+// stubReader is an embedded synthetic RFID reader speaking the go-feig-style
+// HTTP API the adapter consumes, for demos, tests, and CI smoke runs without
+// hardware. It walks one generated trajectory:
+//
+//	GET /scan     the next unserved second's inventory (advance-on-read);
+//	              {"done": true} once the trajectory is exhausted
+//	GET /events/  an eventsource pushing one scan event per interval,
+//	              then a terminal done event
+//	GET /.status  reader health: served/total counts and uptime
+type stubReader struct {
+	readings []rfidclean.Reading
+	interval time.Duration
+	started  time.Time
+
+	mu   sync.Mutex
+	next int // next /scan index; /events/ keeps per-connection cursors
+}
+
+// newStubReader generates one duration-second trajectory of the named
+// dataset and wraps it in a reader.
+func newStubReader(name string, duration int, stream uint64, interval time.Duration) (*stubReader, error) {
+	cfg, err := dataset.ConfigByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("stub duration must be positive, got %d", duration)
+	}
+	d, err := dataset.Build(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	instances, err := d.Generate(duration, 1, stream)
+	if err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	return &stubReader{
+		readings: instances[0].Readings,
+		interval: interval,
+		started:  time.Now(),
+	}, nil
+}
+
+// newStubReaderFor wraps an explicit reading sequence (tests).
+func newStubReaderFor(readings []rfidclean.Reading, interval time.Duration) *stubReader {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	return &stubReader{readings: readings, interval: interval, started: time.Now()}
+}
+
+func (sr *stubReader) total() int { return len(sr.readings) }
+
+func (sr *stubReader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/scan" && r.Method == http.MethodGet:
+		sr.handleScan(w)
+	case r.URL.Path == "/events/" && r.Method == http.MethodGet:
+		sr.handleEvents(w, r)
+	case r.URL.Path == "/.status" && r.Method == http.MethodGet:
+		sr.handleStatus(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// report renders reading i as the wire scan report.
+func (sr *stubReader) report(i int) scanReport {
+	rd := sr.readings[i]
+	ids := rd.Readers.IDs()
+	if ids == nil {
+		ids = []int{} // an empty inventory is still an inventory
+	}
+	return scanReport{Time: rd.Time, Readers: ids}
+}
+
+// handleScan serves the next unserved reading and advances; exhaustion is a
+// done report, repeated forever.
+func (sr *stubReader) handleScan(w http.ResponseWriter) {
+	sr.mu.Lock()
+	var rep scanReport
+	if sr.next < len(sr.readings) {
+		rep = sr.report(sr.next)
+		sr.next++
+	} else {
+		rep = scanReport{Time: -1, Readers: []int{}, Done: true}
+	}
+	sr.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// handleEvents streams the whole trajectory as SSE scan events on a fixed
+// cadence from a per-connection cursor, ending with a done event.
+func (sr *stubReader) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	ticker := time.NewTicker(sr.interval)
+	defer ticker.Stop()
+	for i := 0; ; i++ {
+		var payload []byte
+		event := "done"
+		if i < len(sr.readings) {
+			event = "scan"
+			payload, _ = json.Marshal(sr.report(i))
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload); err != nil {
+			return
+		}
+		rc.Flush()
+		if event == "done" {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleStatus serves reader health.
+func (sr *stubReader) handleStatus(w http.ResponseWriter) {
+	sr.mu.Lock()
+	served := sr.next
+	sr.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"device": "stub-reader",
+		"uptime": time.Since(sr.started).Round(time.Millisecond).String(),
+		"served": served,
+		"total":  len(sr.readings),
+	})
+}

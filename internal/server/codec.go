@@ -6,6 +6,7 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 
 	rfidclean "repro"
@@ -52,13 +53,23 @@ func requestIsBinary(r *http.Request) bool {
 }
 
 // acceptsBinary reports whether the client asked for a binary-codec
-// response. Only an explicit mention opts in; wildcards keep JSON.
+// response. Only an explicit mention opts in; wildcards keep JSON, and so
+// does an explicit refusal: per RFC 9110 §12.4.2 a quality value of 0 means
+// "not acceptable", so Accept: application/x-rfidclean;q=0 must select JSON.
+// A malformed q is treated as no opt-in rather than guessed at.
 func acceptsBinary(r *http.Request) bool {
 	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
-		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
-		if err == nil && mt == ContentTypeBinary {
-			return true
+		mt, params, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil || mt != ContentTypeBinary {
+			continue
 		}
+		if q, ok := params["q"]; ok {
+			v, err := strconv.ParseFloat(q, 64)
+			if err != nil || v <= 0 {
+				continue
+			}
+		}
+		return true
 	}
 	return false
 }

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"net/http"
 	"strings"
@@ -123,6 +125,16 @@ func TestCodecNegotiation(t *testing.T) {
 		{ContentTypeBinary + "; q=1", ContentTypeBinary, true, true},
 		{"", "application/json, " + ContentTypeBinary, false, true},
 		{"", "*/*", false, false}, // wildcard keeps JSON
+		// RFC 9110 §12.4.2: q=0 means "not acceptable" — an explicit refusal
+		// of the binary codec must select JSON, whether alone or buried in a
+		// multi-part header.
+		{"", ContentTypeBinary + ";q=0", false, false},
+		{"", ContentTypeBinary + "; q=0.0", false, false},
+		{"", "application/json;q=1, " + ContentTypeBinary + ";q=0", false, false},
+		// Any positive q opts in; a malformed q is no opt-in, not a guess.
+		{"", ContentTypeBinary + "; q=0.5", false, true},
+		{"", "application/json, " + ContentTypeBinary + ";q=0.001", false, true},
+		{"", ContentTypeBinary + ";q=oops", false, false},
 	} {
 		r := req(tc.ct, tc.accept)
 		if got := requestIsBinary(r); got != tc.body {
@@ -174,5 +186,47 @@ func BenchmarkCodecDecodeReadings(b *testing.B) {
 		if _, err := DecodeStreamReadings(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestBinaryBodyOnJSONEndpoints checks that the JSON-only POST endpoints
+// refuse an application/x-rfidclean body with 415 and an error that points
+// the client at the endpoints that do speak binary — instead of feeding
+// frame bytes to the JSON decoder and answering with a baffling parse error.
+func TestBinaryBodyOnJSONEndpoints(t *testing.T) {
+	base, _, depID, _ := streamHarness(t, Options{})
+	frame := EncodeStreamReadings([]rfidclean.Reading{{Time: 0, Readers: rfidclean.NewReaderSet(0)}})
+	for _, path := range []string{"/v1/stream", "/v1/clean", "/v1/clean/batch", "/v1/deployments"} {
+		resp, err := http.Post(base+path, ContentTypeBinary, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&apiErr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Errorf("POST %s with binary body = %d, want 415", path, resp.StatusCode)
+			continue
+		}
+		if err != nil {
+			t.Errorf("POST %s: 415 body is not a JSON apiError: %v", path, err)
+			continue
+		}
+		if !strings.Contains(apiErr.Error, "/v1/stream/{id}/readings") {
+			t.Errorf("POST %s: 415 error %q does not name the binary-speaking endpoint", path, apiErr.Error)
+		}
+	}
+
+	// Positive control: the same frame is welcome where binary is spoken.
+	sid := openStream(t, base, depID, 0)
+	resp, err := http.Post(base+"/v1/stream/"+sid+"/readings", ContentTypeBinary, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary POST readings = %d, want 200", resp.StatusCode)
 	}
 }

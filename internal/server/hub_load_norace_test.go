@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// loadSubscribers is the fleet size for TestHubLoad: the acceptance bar is
+// 2000 concurrent SSE subscribers on one session.
+const loadSubscribers = 2000

@@ -1,0 +1,10 @@
+//go:build race
+
+package server
+
+// loadSubscribers under the race detector: each SSE subscriber costs several
+// goroutines (handler, transport read/write loops, the test's reader), and
+// the detector budgets ~8k goroutines and slows everything ~10x — 2000
+// subscribers would trip the budget before measuring anything. The full-size
+// fleet runs in the regular (non-race) test job.
+const loadSubscribers = 256

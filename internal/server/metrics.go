@@ -164,6 +164,13 @@ type metrics struct {
 	streamEvicted  counter
 	streamSmooths  *labeled // {mode: incremental|full}
 
+	// Event fan-out (hub.go).
+	streamSubscribers   gauge    // SSE subscribers currently attached
+	streamEvents        *labeled // {kind: delta|smooth|close}
+	streamEventsDropped counter  // events a subscriber's buffer could not take
+	streamSubsEvicted   counter  // subscribers dropped for falling behind
+	fanoutSeconds       *histogram
+
 	// Resource bounds and liveness.
 	deployments    gauge
 	bodyRejections counter
@@ -202,6 +209,11 @@ func newMetrics() *metrics {
 			0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1,
 		),
 		streamSmooths: newLabeled("mode"),
+		streamEvents:  newLabeled("kind"),
+		fanoutSeconds: newHistogram(
+			0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005, 0.0001,
+			0.00025, 0.0005, 0.001, 0.0025, 0.01, 0.05, 0.25,
+		),
 		persistFlushSeconds: newHistogram(
 			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1,
 		),
@@ -271,6 +283,16 @@ func (m *metrics) writeTo(w io.Writer) {
 		"Streaming sessions evicted to admit new ones at the session cap.", &m.streamEvicted)
 	writeLabeled(w, "rfidclean_stream_smooths_total",
 		"Stream smoothing operations, by rebuild mode (incremental reuses the session's live forward state; full rebuilds from the buffered readings).", m.streamSmooths)
+	writeGauge(w, "rfidclean_stream_subscribers",
+		"SSE event subscribers currently attached across all streaming sessions.", &m.streamSubscribers)
+	writeLabeled(w, "rfidclean_stream_events_total",
+		"Events published to streaming-session hubs, by kind.", m.streamEvents)
+	writeCounter(w, "rfidclean_stream_events_dropped_total",
+		"Events a slow subscriber's buffer could not accept (each drop also evicts the subscriber).", &m.streamEventsDropped)
+	writeCounter(w, "rfidclean_stream_subscribers_evicted_total",
+		"SSE subscribers dropped for falling behind their event buffer.", &m.streamSubsEvicted)
+	writeHistogram(w, "rfidclean_stream_fanout_duration_seconds",
+		"Time to enqueue one published event to every subscriber of a session.", m.fanoutSeconds)
 	writeGauge(w, "rfidclean_deployments",
 		"Deployments currently registered.", &m.deployments)
 	writeCounter(w, "rfidclean_body_rejections_total",

@@ -14,6 +14,7 @@
 //	POST   /v1/stream                      open a streaming session -> {"id": ...}
 //	POST   /v1/stream/{id}/readings        append readings -> StreamStatus
 //	GET    /v1/stream/{id}?top=k           current filtered distribution
+//	GET    /v1/stream/{id}/events          SSE: delta/smooth/close events
 //	POST   /v1/stream/{id}/smooth          offline re-clean of the buffer
 //	DELETE /v1/stream/{id}                 close (final smooth unless ?smooth=no)
 //	GET    /v1/trajectories                list stored trajectories
@@ -67,8 +68,9 @@ import (
 // http.Handler.
 type Server struct {
 	workers      int
-	maxBody      int64 // <= 0 disables the body cap
-	cacheEntries int   // per-deployment constraint cache capacity
+	maxBody      int64         // <= 0 disables the body cap
+	cacheEntries int           // per-deployment constraint cache capacity
+	sseHeartbeat time.Duration // comment interval on idle SSE streams (<= 0 disables)
 
 	mu          sync.RWMutex // guards deployments and nextDep
 	deployments map[string]*deployment
@@ -110,6 +112,19 @@ type Options struct {
 	// MaxSessionReadings caps the readings a session buffers for offline
 	// smoothing. Zero uses the default (65536); negative removes the cap.
 	MaxSessionReadings int
+	// SubscriberBuffer caps the events buffered per SSE subscriber; a
+	// subscriber whose buffer is full when an event arrives is evicted so
+	// it can never block the ingestion hot path. Zero uses the default
+	// (64); values below 1 are clamped to 1.
+	SubscriberBuffer int
+	// EventHistory is how many recent events each session retains for
+	// Last-Event-ID resume. Zero uses the default (256); negative disables
+	// resume.
+	EventHistory int
+	// SSEHeartbeat is the comment interval on idle event streams (also the
+	// cadence at which a live subscriber refreshes its session's idle
+	// clock). Zero uses the default (15s); negative disables heartbeats.
+	SSEHeartbeat time.Duration
 	// Logger receives structured access logs and server events. Nil
 	// discards them.
 	Logger *slog.Logger
@@ -179,12 +194,17 @@ func Open(opts Options) (*Server, error) {
 	if opts.TraceBuffer >= 0 {
 		recorder = obs.NewRecorder(opts.TraceBuffer)
 	}
+	heartbeat := opts.SSEHeartbeat
+	if heartbeat == 0 {
+		heartbeat = DefaultSSEHeartbeat
+	}
 	m := newMetrics()
 	s := &Server{
 		deployments:  make(map[string]*deployment),
 		workers:      opts.Workers,
 		maxBody:      maxBody,
 		cacheEntries: opts.ConstraintCacheEntries,
+		sseHeartbeat: heartbeat,
 		store:        newTrajStore(opts.MaxStoreBytes, m),
 		sessions:     newSessionStore(opts, m),
 		metrics:      m,
@@ -276,9 +296,27 @@ func (s *Server) bodyError(w http.ResponseWriter, err error) int {
 	return http.StatusBadRequest
 }
 
+// rejectBinaryBody answers 415 when a binary-codec body is posted to an
+// endpoint that only speaks JSON. Without this check the frame bytes fall
+// into the JSON decoder and die with a misleading 400 parse error; the typed
+// answer names the endpoints that do accept the codec.
+func rejectBinaryBody(w http.ResponseWriter, r *http.Request) bool {
+	if !requestIsBinary(r) {
+		return false
+	}
+	writeError(w, http.StatusUnsupportedMediaType,
+		"%s only accepts application/json; %s bodies are spoken only by POST /v1/stream/{id}/readings (and %s responses by GET /v1/stream/{id} and POST /v1/stream/{id}/readings via Accept)",
+		r.URL.Path, ContentTypeBinary, ContentTypeBinary)
+	return true
+}
+
 // decodeBody decodes a size-limited JSON POST body into v, writing the error
-// response itself when decoding fails.
+// response itself when decoding fails. Binary-codec bodies are refused with
+// 415 — every decodeBody caller is a JSON-only endpoint.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if rejectBinaryBody(w, r) {
+		return false
+	}
 	s.limitBody(w, r)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		s.bodyError(w, err)
@@ -291,6 +329,9 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		if rejectBinaryBody(w, r) {
+			return
+		}
 		s.limitBody(w, r)
 		dep, err := rfidclean.DecodeDeployment(r.Body)
 		if err != nil {

@@ -33,6 +33,7 @@ import (
 //	POST   /v1/stream                     StreamOpenRequest -> {"id": ...}
 //	POST   /v1/stream/{id}/readings      append readings -> StreamStatus
 //	GET    /v1/stream/{id}[?top=k]       current filtered distribution
+//	GET    /v1/stream/{id}/events        SSE event subscription (hub.go)
 //	POST   /v1/stream/{id}/smooth        offline re-clean -> CleanResponse
 //	DELETE /v1/stream/{id}[?smooth=no]   close (smoothing by default)
 //
@@ -68,6 +69,11 @@ type streamSession struct {
 	// so the incremental state is stale and smoothing falls back to a full
 	// rebuild.
 	ic *rfidclean.ConstraintSet
+
+	// hub fans the session's delta/smooth/close events out to SSE
+	// subscribers (hub.go). It is created with the session and closed by
+	// whichever path removes the session.
+	hub *sessionHub
 
 	mu sync.Mutex
 	// state is the incremental build: one forward level per accepted
@@ -109,6 +115,8 @@ type sessionStore struct {
 	maxSessions int           // <= 0: unlimited
 	ttl         time.Duration // <= 0: sessions are never reaped
 	maxReadings int           // <= 0: unlimited buffering
+	subBuffer   int           // per-subscriber event buffer (hub.go)
+	history     int           // per-session resume ring (hub.go)
 	m           *metrics
 
 	mu       sync.Mutex
@@ -136,10 +144,23 @@ func newSessionStore(opts Options, m *metrics) *sessionStore {
 	if maxReadings == 0 {
 		maxReadings = DefaultMaxSessionReadings
 	}
+	subBuffer := opts.SubscriberBuffer
+	if subBuffer == 0 {
+		subBuffer = DefaultSubscriberBuffer
+	}
+	history := opts.EventHistory
+	if history == 0 {
+		history = DefaultEventHistory
+	}
+	if history < 0 {
+		history = 0 // resume disabled
+	}
 	return &sessionStore{
 		maxSessions: maxSessions,
 		ttl:         ttl,
 		maxReadings: maxReadings,
+		subBuffer:   subBuffer,
+		history:     history,
 		m:           m,
 		sessions:    make(map[string]*streamSession),
 		gone:        make(map[string]bool),
@@ -192,6 +213,7 @@ func (st *sessionStore) open(dep *deployment, prms rfidclean.ConstraintParams, i
 		state:  state,
 		filter: f,
 	}
+	s.hub = newSessionHub(s.id, st.subBuffer, st.history, st.m)
 	s.touch()
 	st.sessions[s.id] = s
 	st.m.streamSessions.set(int64(len(st.sessions)))
@@ -203,20 +225,30 @@ func (st *sessionStore) open(dep *deployment, prms rfidclean.ConstraintParams, i
 }
 
 // evictOldestLocked removes the session with the stalest activity stamp.
+// Equal stamps — common when sessions are opened in a burst within the
+// clock's resolution — are broken by numeric session id, oldest id first, so
+// the victim is deterministic rather than whatever the map iterator happens
+// to visit first. It maintains the open-session gauge itself so any future
+// caller beyond open leaves it consistent.
 func (st *sessionStore) evictOldestLocked() {
-	var victimID string
+	var victim *streamSession
 	oldest := int64(1<<63 - 1)
+	victimNum := 0
 	for id, s := range st.sessions {
-		if a := s.lastActive.Load(); a < oldest {
-			oldest, victimID = a, id
+		a := s.lastActive.Load()
+		n, _ := idNum("s", id)
+		if a < oldest || (a == oldest && victim != nil && n < victimNum) {
+			oldest, victim, victimNum = a, s, n
 		}
 	}
-	if victimID == "" {
+	if victim == nil {
 		return
 	}
-	delete(st.sessions, victimID)
-	st.markGoneLocked(victimID)
+	delete(st.sessions, victim.id)
+	st.markGoneLocked(victim.id)
+	st.m.streamSessions.set(int64(len(st.sessions)))
 	st.m.streamEvicted.inc()
+	victim.hub.shutdown(closeReasonEvicted)
 }
 
 // get returns the session with the given id, or nil.
@@ -275,22 +307,23 @@ func (st *sessionStore) reapLoop() {
 func (st *sessionStore) reap(now time.Time) int {
 	cutoff := now.Add(-st.ttl).UnixNano()
 	st.mu.Lock()
-	reaped := 0
+	var victims []*streamSession
 	for id, s := range st.sessions {
 		if s.lastActive.Load() < cutoff {
 			delete(st.sessions, id)
 			st.markGoneLocked(id)
-			reaped++
+			victims = append(victims, s)
 		}
 	}
-	if reaped > 0 {
+	if len(victims) > 0 {
 		st.m.streamSessions.set(int64(len(st.sessions)))
 	}
 	st.mu.Unlock()
-	for i := 0; i < reaped; i++ {
+	for _, s := range victims {
+		s.hub.shutdown(closeReasonReaped)
 		st.m.streamReaped.inc()
 	}
-	return reaped
+	return len(victims)
 }
 
 // close stops the reaper (waiting for it to exit) and drops every session.
@@ -304,8 +337,9 @@ func (st *sessionStore) close() {
 	st.closed = true
 	reaping := st.reaping
 	if first {
-		for id := range st.sessions {
+		for id, s := range st.sessions {
 			st.markGoneLocked(id)
+			s.hub.shutdown(closeReasonShutdown)
 		}
 		st.sessions = make(map[string]*streamSession)
 		st.m.streamSessions.set(0)
@@ -432,7 +466,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.handleStreamReadings(w, r, sess)
 	case op == "smooth" && r.Method == http.MethodPost:
 		s.handleStreamSmooth(w, r, sess)
-	case op == "" || op == "readings" || op == "smooth":
+	case op == "events" && r.Method == http.MethodGet:
+		s.handleStreamEvents(w, r, sess)
+	case op == "" || op == "readings" || op == "smooth" || op == "events":
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	default:
 		writeError(w, http.StatusNotFound, "unknown operation %q", op)
@@ -506,6 +542,16 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 		writeError(w, http.StatusGone, "session %s hit a dead end at timestamp %d and accepts no more readings", sess.id, sess.time()+1)
 		return
 	}
+	// One delta event per batch that moved the session — readings accepted,
+	// or the dead-end transition — even when a later reading in the batch
+	// failed; the accepted prefix is real and subscribers should see it.
+	// Runs before the deferred unlock, so deltaLocked still holds sess.mu.
+	accepted := 0
+	defer func() {
+		if accepted > 0 || sess.dead {
+			sess.hub.publish(eventKindDelta, deltaLocked(sess, accepted))
+		}
+	}()
 	for _, reading := range req.Readings {
 		next := len(sess.readings)
 		if reading.Time < next {
@@ -555,6 +601,7 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 			return
 		}
 		sess.readings = append(sess.readings, reading)
+		accepted++
 		s.metrics.streamReadings.inc("ok")
 	}
 	writeStreamStatus(w, r, http.StatusOK, statusLocked(sess))
@@ -649,7 +696,9 @@ func (s *Server) smoothLocked(ctx context.Context, sess *streamSession) (CleanRe
 	outcome = "ok"
 	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())
 	s.metrics.graphBytes.observe(float64(st.Bytes))
-	return CleanResponse{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes}, http.StatusCreated, nil
+	resp := CleanResponse{ID: id, Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes}
+	sess.hub.publish(eventKindSmooth, StreamSmoothEvent{ID: sess.id, Trajectory: resp, Mode: mode})
+	return resp, http.StatusCreated, nil
 }
 
 // handleStreamSmooth serves POST /v1/stream/{id}/smooth: the on-demand
@@ -697,6 +746,9 @@ func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request, sess 
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	// The hub outlives remove just long enough for the final smooth event,
+	// then broadcasts the terminal close and drops every subscriber.
+	defer sess.hub.shutdown(closeReasonClosed)
 	out := StreamCloseResponse{Closed: sess.id}
 	if smooth && len(sess.readings) > 0 {
 		resp, status, err := s.smoothLocked(r.Context(), sess)

@@ -858,3 +858,180 @@ func TestStreamStatusTopParam(t *testing.T) {
 		t.Errorf("?top=2 returned %d entries", len(st.Current))
 	}
 }
+
+// TestEvictOldestDeterministic pins the cap-eviction tie-break: when every
+// session has the same activity stamp (a burst of opens within the clock's
+// resolution), the victim is the numerically lowest session id — not
+// whatever the map iterator happens to visit first — and its subscribers get
+// a terminal "evicted" close event.
+func TestEvictOldestDeterministic(t *testing.T) {
+	base, srv, depID, _ := streamHarness(t, Options{MaxSessions: 3, SessionTTL: -1})
+	st := srv.sessions
+	for round := 0; round < 8; round++ {
+		for st.count() < 3 {
+			openStream(t, base, depID, 0)
+		}
+		// Flatten every stamp so only the tie-break decides.
+		st.mu.Lock()
+		lowest, lowestID := int(^uint(0)>>1), ""
+		for id, s := range st.sessions {
+			s.lastActive.Store(42)
+			if n, ok := idNum("s", id); ok && n < lowest {
+				lowest, lowestID = n, id
+			}
+		}
+		victim := st.sessions[lowestID]
+		st.mu.Unlock()
+		sub, _, _ := victim.hub.subscribe(0, false)
+
+		openStream(t, base, depID, 0) // at the cap: must displace the victim
+		if st.get(lowestID) != nil {
+			t.Fatalf("round %d: session %s survived eviction", round, lowestID)
+		}
+		if !st.isGone(lowestID) {
+			t.Fatalf("round %d: evicted session %s was not tombstoned", round, lowestID)
+		}
+		if got := srv.metrics.streamSessions.value(); got != 3 {
+			t.Fatalf("round %d: session gauge = %d, want 3", round, got)
+		}
+		ev, ok := <-sub.ch
+		if !ok || ev.kind != eventKindClose || !strings.Contains(string(ev.data), closeReasonEvicted) {
+			t.Fatalf("round %d: victim subscriber got %+v ok=%v, want evicted close", round, ev, ok)
+		}
+	}
+}
+
+// TestTombstoneRingWraparound closes far more sessions than the tombstone
+// ring holds: recent closures still answer 410 Gone, while ids older than
+// the ring honestly degrade to 404.
+func TestTombstoneRingWraparound(t *testing.T) {
+	base, srv, _, _ := streamHarness(t, Options{})
+	st := srv.sessions
+	const closed = sessionTombstones + 904
+	st.mu.Lock()
+	for i := 1; i <= closed; i++ {
+		st.markGoneLocked(fmt.Sprintf("s%d", i))
+	}
+	ringLen, goneLen := len(st.goneRing), len(st.gone)
+	st.mu.Unlock()
+	if ringLen != sessionTombstones || goneLen != sessionTombstones {
+		t.Fatalf("ring %d / set %d entries, want %d each", ringLen, goneLen, sessionTombstones)
+	}
+	// The oldest 904 fell off; everything newer is still remembered.
+	if st.isGone("s1") || st.isGone(fmt.Sprintf("s%d", closed-sessionTombstones)) {
+		t.Error("pre-wraparound tombstones still present")
+	}
+	if !st.isGone(fmt.Sprintf("s%d", closed-sessionTombstones+1)) || !st.isGone(fmt.Sprintf("s%d", closed)) {
+		t.Error("post-wraparound tombstones missing")
+	}
+	// And the HTTP mapping: remembered id → 410, forgotten id → 404.
+	for _, tc := range []struct {
+		id   string
+		want int
+	}{
+		{fmt.Sprintf("s%d", closed), http.StatusGone},
+		{"s1", http.StatusNotFound},
+	} {
+		resp, err := http.Get(base + "/v1/stream/" + tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET closed session %s = %d, want %d", tc.id, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestReapVsInflightReadings races the idle reaper against in-flight
+// readings POSTs and live SSE subscribers on several sessions at once (run
+// under -race in CI). Every feeder must eventually lose its session to the
+// reaper and see 410, never a hang, panic, or torn state.
+func TestReapVsInflightReadings(t *testing.T) {
+	base, _, depID, sys := streamHarness(t, Options{SessionTTL: 20 * time.Millisecond, SSEHeartbeat: -1})
+	readings := testReadings(t, sys, 33, 120)
+	errc := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSONQuiet(base+"/v1/stream", StreamOpenRequest{Deployment: depID, MaxSpeed: 2, MinStay: 5})
+			if resp == nil || resp.StatusCode != http.StatusCreated {
+				errc <- fmt.Errorf("open failed: %s", body)
+				return
+			}
+			var created map[string]string
+			if err := json.Unmarshal(body, &created); err != nil {
+				errc <- err
+				return
+			}
+			sid := created["id"]
+			// A subscriber whose stream the reaper will sever mid-watch.
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				resp, err := http.Get(base + "/v1/stream/" + sid + "/events")
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := resp.Body.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			deadline := time.Now().Add(20 * time.Second)
+			for i := 0; ; i++ {
+				if time.Now().After(deadline) {
+					errc <- fmt.Errorf("session %s: reaper never fired", sid)
+					return
+				}
+				resp, body := postJSONQuiet(base+"/v1/stream/"+sid+"/readings",
+					StreamReadingsRequest{Readings: readings[i%len(readings) : i%len(readings)+1]})
+				switch {
+				case resp == nil:
+					errc <- fmt.Errorf("session %s: %s", sid, body)
+					return
+				case resp.StatusCode == http.StatusGone:
+					<-drained // the reaper also ended the event stream
+					return
+				case resp.StatusCode == http.StatusOK, resp.StatusCode == http.StatusConflict:
+					// Conflict: the wrapped reading index lapped the session.
+				default:
+					errc <- fmt.Errorf("session %s: POST %d = %d: %s", sid, i, resp.StatusCode, body)
+					return
+				}
+				if i%10 == 9 {
+					time.Sleep(25 * time.Millisecond) // idle past the TTL
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// postJSONQuiet is postJSON without t.Fatal, safe for use off the test
+// goroutine; a nil response carries the error text in body.
+func postJSONQuiet(url string, body any) (*http.Response, []byte) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return nil, []byte(err.Error())
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		return nil, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return nil, []byte(err.Error())
+	}
+	return resp, out.Bytes()
+}
