@@ -17,6 +17,10 @@
 //
 // When several samples of the same benchmark appear (e.g. -count=3), the
 // minimum is used — the least noisy estimate of the true cost.
+//
+// -json <file> additionally writes the comparison as machine-readable JSON
+// (per-benchmark verdicts plus the regressed list), written before the exit
+// verdict so CI can upload it as an artifact even when the guard trips.
 package main
 
 import (
@@ -75,10 +79,32 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	return out, nil
 }
 
-// compare reports each baseline benchmark's fresh/base ratio, returning the
-// names that regressed past the threshold or went missing. Output is sorted
-// for stable CI logs.
-func compare(w io.Writer, base, fresh map[string]float64, threshold float64) (bad []string) {
+// benchEntry is one benchmark's comparison in the -json report. BaselineNs
+// is absent for "new" benchmarks, FreshNs and Delta for "missing" ones.
+type benchEntry struct {
+	Name       string   `json:"name"`
+	BaselineNs *float64 `json:"baselineNs,omitempty"`
+	FreshNs    *float64 `json:"freshNs,omitempty"`
+	Delta      *float64 `json:"delta,omitempty"` // fresh/baseline - 1
+	Verdict    string   `json:"verdict"`         // ok | regressed | missing | new
+}
+
+// benchReport is the machine-readable comparison (-json file), uploaded as a
+// CI artifact next to the human log.
+type benchReport struct {
+	Baseline   string       `json:"baseline"`
+	Threshold  float64      `json:"threshold"`
+	GoOS       string       `json:"goos"`
+	GoArch     string       `json:"goarch"`
+	Passed     bool         `json:"passed"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	Regressed  []string     `json:"regressed,omitempty"` // names that regressed or went missing
+}
+
+// compare evaluates each baseline benchmark's fresh/base ratio, returning the
+// sorted per-benchmark entries plus the names that regressed past the
+// threshold or went missing.
+func compare(base, fresh map[string]float64, threshold float64) (entries []benchEntry, bad []string) {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -88,17 +114,18 @@ func compare(w io.Writer, base, fresh map[string]float64, threshold float64) (ba
 		b := base[name]
 		f, ok := fresh[name]
 		if !ok {
-			fmt.Fprintf(w, "MISSING  %-40s baseline %.0f ns/op, absent from fresh run\n", name, b)
+			entries = append(entries, benchEntry{Name: name, BaselineNs: &b, Verdict: "missing"})
 			bad = append(bad, name)
 			continue
 		}
 		delta := f/b - 1
 		verdict := "ok"
 		if delta > threshold {
-			verdict = "REGRESSED"
+			verdict = "regressed"
 			bad = append(bad, name)
 		}
-		fmt.Fprintf(w, "%-9s%-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n", verdict, name, b, f, delta*100)
+		ff, dd := f, delta
+		entries = append(entries, benchEntry{Name: name, BaselineNs: &b, FreshNs: &ff, Delta: &dd, Verdict: verdict})
 	}
 	// New benchmarks are informational: they only guard once baselined.
 	extra := make([]string, 0)
@@ -109,9 +136,28 @@ func compare(w io.Writer, base, fresh map[string]float64, threshold float64) (ba
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		fmt.Fprintf(w, "new      %-40s %12.0f ns/op (not in baseline; re-run with -write to track)\n", name, fresh[name])
+		f := fresh[name]
+		entries = append(entries, benchEntry{Name: name, FreshNs: &f, Verdict: "new"})
 	}
-	return bad
+	return entries, bad
+}
+
+// renderText prints the human comparison log, sorted for stable CI output.
+func renderText(w io.Writer, entries []benchEntry) {
+	for _, e := range entries {
+		switch e.Verdict {
+		case "missing":
+			fmt.Fprintf(w, "MISSING  %-40s baseline %.0f ns/op, absent from fresh run\n", e.Name, *e.BaselineNs)
+		case "new":
+			fmt.Fprintf(w, "new      %-40s %12.0f ns/op (not in baseline; re-run with -write to track)\n", e.Name, *e.FreshNs)
+		case "regressed":
+			fmt.Fprintf(w, "%-9s%-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				"REGRESSED", e.Name, *e.BaselineNs, *e.FreshNs, *e.Delta*100)
+		default:
+			fmt.Fprintf(w, "%-9s%-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				e.Verdict, e.Name, *e.BaselineNs, *e.FreshNs, *e.Delta*100)
+		}
+	}
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -122,6 +168,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	write := fs.Bool("write", false, "write the baseline from the bench output instead of comparing")
 	threshold := fs.Float64("threshold", 0.30, "max allowed fractional slowdown per benchmark")
 	note := fs.String("note", "", "provenance note stored with -write")
+	jsonPath := fs.String("json", "", "also write the comparison as machine-readable JSON here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -167,7 +214,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(doc.NsPerOp) == 0 {
 		return fmt.Errorf("benchdiff: %s holds no benchmarks", *baselinePath)
 	}
-	if bad := compare(stdout, doc.NsPerOp, fresh, *threshold); len(bad) > 0 {
+	entries, bad := compare(doc.NsPerOp, fresh, *threshold)
+	renderText(stdout, entries)
+	// The JSON report is written before the verdict is returned: on a red
+	// gate the artifact is exactly what the investigation needs.
+	if *jsonPath != "" {
+		report := benchReport{
+			Baseline: *baselinePath, Threshold: *threshold,
+			GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+			Passed: len(bad) == 0, Benchmarks: entries, Regressed: bad,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
+	if len(bad) > 0 {
 		return fmt.Errorf("benchdiff: %d benchmark(s) regressed past %.0f%% or went missing: %v",
 			len(bad), *threshold*100, bad)
 	}

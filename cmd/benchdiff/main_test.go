@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -50,19 +51,33 @@ func TestCompare(t *testing.T) {
 		"BenchmarkTopK":  1400,   // +40%: regression
 		"BenchmarkNew":   77,     // unbaselined: informational
 	}
-	var out bytes.Buffer
-	bad := compare(&out, base, fresh, 0.30)
+	entries, bad := compare(base, fresh, 0.30)
 	if len(bad) != 2 || bad[0] != "BenchmarkGone" || bad[1] != "BenchmarkTopK" {
 		t.Fatalf("bad = %v, want [BenchmarkGone BenchmarkTopK]", bad)
 	}
+	var out bytes.Buffer
+	renderText(&out, entries)
 	for _, needle := range []string{"REGRESSED", "MISSING", "BenchmarkNew"} {
 		if !strings.Contains(out.String(), needle) {
 			t.Errorf("report missing %q:\n%s", needle, out.String())
 		}
 	}
+	verdicts := map[string]string{}
+	for _, e := range entries {
+		verdicts[e.Name] = e.Verdict
+	}
+	want := map[string]string{
+		"BenchmarkBuild": "ok", "BenchmarkTopK": "regressed",
+		"BenchmarkGone": "missing", "BenchmarkNew": "new",
+	}
+	for name, v := range want {
+		if verdicts[name] != v {
+			t.Errorf("%s verdict = %q, want %q", name, verdicts[name], v)
+		}
+	}
 
 	// Tightening the threshold flips the +25% into a failure.
-	if bad := compare(&bytes.Buffer{}, base, fresh, 0.20); len(bad) != 3 {
+	if _, bad := compare(base, fresh, 0.20); len(bad) != 3 {
 		t.Errorf("threshold 0.20: bad = %v, want 3 entries", bad)
 	}
 }
@@ -100,6 +115,63 @@ func TestRunRoundTrip(t *testing.T) {
 	dropped := strings.ReplaceAll(sampleBench, "BenchmarkTopK", "BenchmarkRenamed")
 	if err := run([]string{"-baseline", baselinePath}, strings.NewReader(dropped), &bytes.Buffer{}); err == nil {
 		t.Error("missing benchmark passed")
+	}
+}
+
+// TestRunJSONReport: -json writes a machine-readable comparison, including
+// (especially) when the guard trips.
+func TestRunJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := filepath.Join(dir, "baseline.json")
+	jsonPath := filepath.Join(dir, "benchdiff.json")
+	if err := run([]string{"-write", "-baseline", baselinePath},
+		strings.NewReader(sampleBench), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Passing comparison.
+	if err := run([]string{"-baseline", baselinePath, "-json", jsonPath},
+		strings.NewReader(sampleBench), &bytes.Buffer{}); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	var report benchReport
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !report.Passed || len(report.Regressed) != 0 || len(report.Benchmarks) != 3 {
+		t.Fatalf("passing report wrong: %+v", report)
+	}
+	if report.Baseline != baselinePath || report.Threshold != 0.30 {
+		t.Fatalf("report provenance wrong: %+v", report)
+	}
+
+	// Failing comparison still writes the report before erroring.
+	slower := strings.ReplaceAll(sampleBench, "2500.5 ns/op", "9500.5 ns/op")
+	if err := run([]string{"-baseline", baselinePath, "-json", jsonPath},
+		strings.NewReader(slower), &bytes.Buffer{}); err == nil {
+		t.Fatal("regressed run passed")
+	}
+	data, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("report must be written on a red gate: %v", err)
+	}
+	report = benchReport{}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Passed || len(report.Regressed) != 1 || report.Regressed[0] != "BenchmarkTopK" {
+		t.Fatalf("failing report wrong: %+v", report)
+	}
+	for _, e := range report.Benchmarks {
+		if e.Name == "BenchmarkTopK" {
+			if e.Verdict != "regressed" || e.Delta == nil || *e.Delta < 2 {
+				t.Fatalf("TopK entry wrong: %+v", e)
+			}
+		}
 	}
 }
 

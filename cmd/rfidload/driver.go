@@ -1,0 +1,422 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rfidclean "repro"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+// This file executes a synthesized plan against a live daemon with an
+// open-loop worker-pool driver: every operation has a fixed issue time on
+// the schedule (plan.Ops[i].AtMs) regardless of how long earlier operations
+// take, so a saturated server shows up as scheduling lag, queueing and
+// eventually skipped ops — not as a politely slowed-down workload. A fixed
+// pool of workers drains the dispatch queue; per-request latency is measured
+// send-to-response so endpoint SLOs stay meaningful under backlog, and the
+// dispatch delay itself is reported separately (schedLag).
+
+// depRuntime is one registered deployment's runtime state.
+type depRuntime struct {
+	plan     deploymentPlan
+	serverID string                      // id the daemon assigned at registration
+	seqs     []rfidclean.ReadingSequence // one synthesized sequence per tag
+	maxSpeed float64
+	minStay  int
+	ttCap    int
+
+	mu  sync.Mutex
+	ids []string // trajectory ids available to queries, oldest first
+}
+
+func (d *depRuntime) addTarget(id string) {
+	if id == "" {
+		return
+	}
+	d.mu.Lock()
+	d.ids = append(d.ids, id)
+	d.mu.Unlock()
+}
+
+func (d *depRuntime) pickTarget(qIndex int) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ids) == 0 {
+		return ""
+	}
+	return d.ids[qIndex%len(d.ids)]
+}
+
+// runner drives one load run.
+type runner struct {
+	cfg    runConfig
+	plan   *workloadPlan
+	base   string
+	client *http.Client // per-request timeout; not used for SSE
+	sseC   *http.Client // no client timeout; SSE lives on the run context
+	rec    *recorder
+	deps   []*depRuntime
+	sse    sseStats
+	sseWG  sync.WaitGroup
+
+	dispatched atomic.Uint64
+	skipped    atomic.Uint64
+}
+
+func newRunner(cfg runConfig, plan *workloadPlan) *runner {
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Workers * 2,
+		MaxIdleConnsPerHost: cfg.Workers * 2,
+	}
+	return &runner{
+		cfg:    cfg,
+		plan:   plan,
+		base:   cfg.Daemon,
+		client: &http.Client{Transport: transport, Timeout: cfg.ReqTimeout},
+		sseC:   &http.Client{Transport: transport},
+		rec:    newRecorder(),
+	}
+}
+
+// setup synthesizes the per-deployment datasets, registers them with the
+// daemon and pre-cleans one trajectory per deployment so query ops always
+// have a target. Setup traffic is not measured: the run's histograms cover
+// the steady-state workload, not the warm-up.
+func (r *runner) setup(ctx context.Context) error {
+	for i, dp := range r.plan.Deployments {
+		cfg, err := dataset.ConfigByName(dp.Dataset)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = dp.Seed
+		d, err := dataset.Build(dp.Dataset, cfg)
+		if err != nil {
+			return fmt.Errorf("rfidload: building %s for deployment %d: %v", dp.Dataset, i, err)
+		}
+		instances, err := d.Generate(r.plan.ReadingDuration, dp.Tags, dp.Stream)
+		if err != nil {
+			return fmt.Errorf("rfidload: generating tags for deployment %d: %v", i, err)
+		}
+		rt := &depRuntime{plan: dp, maxSpeed: cfg.MaxSpeed, minStay: cfg.MinStay, ttCap: cfg.TTCap}
+		for _, inst := range instances {
+			rt.seqs = append(rt.seqs, rfidclean.ReadingSequence(inst.Readings))
+		}
+
+		dep := &rfidclean.Deployment{
+			Name:               fmt.Sprintf("%s-load-%d", dp.Dataset, i),
+			Plan:               d.Plan,
+			Readers:            d.Readers,
+			Detection:          cfg.Detection,
+			CellSize:           cfg.CellSize,
+			CalibrationSamples: cfg.CalibrationSamples,
+			Seed:               cfg.Seed,
+		}
+		raw, err := dep.EncodeBytes()
+		if err != nil {
+			return err
+		}
+		var reg struct {
+			ID string `json:"id"`
+		}
+		if err := r.callJSON(ctx, http.MethodPost, "/v1/deployments", raw, &reg); err != nil {
+			return fmt.Errorf("rfidload: registering deployment %d: %v", i, err)
+		}
+		rt.serverID = reg.ID
+
+		var seeded server.CleanResponse
+		if err := r.callJSON(ctx, http.MethodPost, "/v1/clean", rt.cleanBody(rt.seqs[0:1]), &seeded); err != nil {
+			return fmt.Errorf("rfidload: seeding deployment %s with a trajectory: %v", reg.ID, err)
+		}
+		rt.addTarget(seeded.ID)
+		r.deps = append(r.deps, rt)
+		log.Printf("registered deployment %s (%s, %d tags, %d-second sequences)",
+			reg.ID, dp.Dataset, dp.Tags, r.plan.ReadingDuration)
+	}
+	return nil
+}
+
+// callJSON is the unrecorded setup helper: POST/GET JSON, decode into out,
+// error on any non-2xx.
+func (r *runner) callJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, r.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// cleanBody builds a CleanRequest (one sequence plus optional group mates).
+func (d *depRuntime) cleanBody(seqs []rfidclean.ReadingSequence) []byte {
+	body, _ := json.Marshal(server.CleanRequest{
+		Deployment: d.serverID,
+		Readings:   seqs[0],
+		MaxSpeed:   d.maxSpeed,
+		MinStay:    d.minStay,
+		TTCap:      d.ttCap,
+	})
+	return body
+}
+
+// call issues one measured request and records it under endpoint. The
+// response body is fully read so connections are reused; out, when non-nil,
+// receives the decoded JSON of 2xx responses.
+func (r *runner) call(ctx context.Context, endpoint, method, path, contentType string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.base+path, rd)
+	if err != nil {
+		r.rec.record(endpoint, 0, 0, err)
+		return 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.rec.record(endpoint, time.Since(start), 0, err)
+		return 0, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if err != nil {
+		r.rec.record(endpoint, elapsed, 0, err)
+		return 0, err
+	}
+	r.rec.record(endpoint, elapsed, resp.StatusCode, nil)
+	if resp.StatusCode/100 == 2 && out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// run dispatches the plan. The dispatcher walks the schedule; workers drain
+// the queue. Returns the measured Result (SLO evaluation happens upstream).
+func (r *runner) run(ctx context.Context) *Result {
+	start := time.Now()
+	deadline := start.Add(r.cfg.Duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline.Add(r.cfg.Grace))
+	defer cancel()
+
+	type queued struct {
+		op opPlan
+		at time.Time
+	}
+	ch := make(chan queued, len(r.plan.Ops))
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range ch {
+				// Open-loop honesty: an op a worker only reaches after the
+				// run window closed is skipped and counted, never silently
+				// executed late.
+				if time.Now().After(deadline) {
+					r.skipped.Add(1)
+					continue
+				}
+				r.rec.schedLag.observe(time.Since(q.at).Nanoseconds())
+				r.execute(runCtx, q.op)
+			}
+		}()
+	}
+
+dispatch:
+	for _, op := range r.plan.Ops {
+		at := start.Add(time.Duration(op.AtMs) * time.Millisecond)
+		if wait := time.Until(at); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		r.dispatched.Add(1)
+		ch <- queued{op: op, at: at}
+	}
+	close(ch)
+	wg.Wait()
+	// Subscribers outlive their stream op only until the session's close
+	// event lands; give them until the grace deadline.
+	done := make(chan struct{})
+	go func() { r.sseWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-runCtx.Done():
+	}
+	elapsed := time.Since(start)
+
+	res := r.rec.buildResult(elapsed)
+	res.Seed = r.plan.Seed
+	res.Daemon = r.cfg.Daemon
+	res.Rate = r.plan.Rate
+	res.DurationSeconds = r.plan.DurationSeconds
+	res.Workers = r.cfg.Workers
+	res.Deployments = len(r.plan.Deployments)
+	res.TagsPerDeployment = r.plan.Deployments[0].Tags
+	res.ReadingDuration = r.plan.ReadingDuration
+	res.PlannedOps = len(r.plan.Ops)
+	res.DispatchedOps = int(r.dispatched.Load())
+	res.SkippedOps = int(r.skipped.Load())
+	res.SSE = r.sse.result()
+	return res
+}
+
+// execute runs one scheduled operation.
+func (r *runner) execute(ctx context.Context, op opPlan) {
+	dep := r.deps[op.Dep]
+	switch op.Kind {
+	case opClean:
+		var out server.CleanResponse
+		if st, err := r.call(ctx, "clean", http.MethodPost, "/v1/clean",
+			"application/json", dep.cleanBody(dep.seqs[op.Tag:op.Tag+1]), &out); err == nil && st/100 == 2 {
+			dep.addTarget(out.ID)
+		}
+	case opBatch:
+		seqs := make([]rfidclean.ReadingSequence, 0, op.Span)
+		for i := 0; i < op.Span; i++ {
+			seqs = append(seqs, dep.seqs[(op.Tag+i)%len(dep.seqs)])
+		}
+		body, _ := json.Marshal(server.BatchCleanRequest{
+			Deployment: dep.serverID,
+			Sequences:  seqs,
+			MaxSpeed:   dep.maxSpeed,
+			MinStay:    dep.minStay,
+			TTCap:      dep.ttCap,
+		})
+		var out []server.BatchCleanResult
+		if st, err := r.call(ctx, "clean_batch", http.MethodPost, "/v1/clean/batch",
+			"application/json", body, &out); err == nil && st/100 == 2 {
+			for _, slot := range out {
+				dep.addTarget(slot.ID)
+			}
+		}
+	case opStream:
+		r.executeStream(ctx, dep, op)
+	case opStay:
+		id := dep.pickTarget(op.QIndex)
+		if id == "" {
+			return
+		}
+		r.call(ctx, "query_stay", http.MethodGet,
+			"/v1/trajectories/"+id+"/stay?t="+strconv.Itoa(op.T), "", nil, nil)
+	case opPattern:
+		id := dep.pickTarget(op.QIndex)
+		if id == "" {
+			return
+		}
+		r.call(ctx, "query_pattern", http.MethodGet,
+			"/v1/trajectories/"+id+"/match?pattern="+url.QueryEscape(op.Pattern), "", nil, nil)
+	case opTop:
+		id := dep.pickTarget(op.QIndex)
+		if id == "" {
+			return
+		}
+		r.call(ctx, "query_top", http.MethodGet,
+			"/v1/trajectories/"+id+"/top?k="+strconv.Itoa(op.K), "", nil, nil)
+	}
+}
+
+// executeStream drives one full streaming session: open, optionally attach
+// an SSE subscriber, feed the tag's readings in chunks (optionally smoothing
+// mid-stream), then close — which smooths once more and stores the
+// trajectory for later query ops.
+func (r *runner) executeStream(ctx context.Context, dep *depRuntime, op opPlan) {
+	body, _ := json.Marshal(server.StreamOpenRequest{
+		Deployment: dep.serverID,
+		MaxSpeed:   dep.maxSpeed,
+		MinStay:    dep.minStay,
+		TTCap:      dep.ttCap,
+	})
+	var opened server.StreamStatus
+	st, err := r.call(ctx, "stream_open", http.MethodPost, "/v1/stream", "application/json", body, &opened)
+	if err != nil || st/100 != 2 || opened.ID == "" {
+		return
+	}
+	if op.Subscribe {
+		ready := make(chan struct{})
+		r.sseWG.Add(1)
+		go func() {
+			defer r.sseWG.Done()
+			subscribe(ctx, r.sseC, r.base, opened.ID, r.rec, &r.sse, ready)
+		}()
+		// Hold the readings until the subscriber is attached: an in-process
+		// session can otherwise finish before the GET even lands.
+		select {
+		case <-ready:
+		case <-ctx.Done():
+		}
+	}
+	seq := dep.seqs[op.Tag]
+	half := (len(seq)/op.Chunk + 1) / 2
+	for c, i := 0, 0; i < len(seq); c, i = c+1, i+op.Chunk {
+		end := i + op.Chunk
+		if end > len(seq) {
+			end = len(seq)
+		}
+		var chunkBody []byte
+		contentType := "application/json"
+		if r.cfg.Binary {
+			chunkBody = server.EncodeStreamReadings(seq[i:end])
+			contentType = server.ContentTypeBinary
+		} else {
+			chunkBody, _ = json.Marshal(server.StreamReadingsRequest{Readings: seq[i:end]})
+		}
+		st, err := r.call(ctx, "stream_readings", http.MethodPost,
+			"/v1/stream/"+opened.ID+"/readings", contentType, chunkBody, nil)
+		if err != nil || st/100 != 2 {
+			break
+		}
+		if op.Smooth && c == half {
+			// Mid-stream smooth: exercises the incremental path and emits a
+			// smooth event for subscribers. Its prefix-length trajectory is
+			// deliberately not added to the query targets (stay queries
+			// draw t from the full duration).
+			r.call(ctx, "stream_smooth", http.MethodPost,
+				"/v1/stream/"+opened.ID+"/smooth", "application/json", nil, nil)
+		}
+	}
+	var closed server.StreamCloseResponse
+	if st, err := r.call(ctx, "stream_close", http.MethodDelete,
+		"/v1/stream/"+opened.ID, "", nil, &closed); err == nil && st/100 == 2 && closed.Trajectory != nil {
+		dep.addTarget(closed.Trajectory.ID)
+	}
+}

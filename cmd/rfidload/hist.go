@@ -1,0 +1,138 @@
+package main
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// This file is the harness's latency histogram: HDR-style log-bucketed, the
+// same shape as internal/server's Prometheus histograms but with enough
+// resolution to read a p999 off a 20-second run. Values are nanoseconds.
+//
+// The bucket ladder is the classic HDR layout: values below 2*2^histSubBits
+// are recorded exactly; above that, each power-of-two octave is split into
+// 2^histSubBits linear sub-buckets, bounding the relative quantile error at
+// 2^-(histSubBits+1) (under 0.8% here). Recording is a single atomic add, so
+// the worker pool shares one histogram per endpoint without locks.
+
+const (
+	histSubBits = 6
+	histSub     = 1 << histSubBits
+	// histBuckets covers every non-negative int64: the widest index is
+	// (shift+1)*histSub + sub with shift <= 62-histSubBits.
+	histBuckets = (64 - histSubBits) * histSub
+)
+
+type hist struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 2*histSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the top set bit, >= histSubBits+1
+	shift := exp - histSubBits       // >= 1
+	sub := int(v>>shift) - histSub   // in [0, histSub)
+	return (shift+1)*histSub + sub
+}
+
+// histBounds returns the half-open value range [lo, hi) of a bucket.
+func histBounds(idx int) (lo, hi int64) {
+	if idx < 2*histSub {
+		return int64(idx), int64(idx) + 1
+	}
+	shift := idx/histSub - 1
+	sub := int64(idx % histSub)
+	lo = (histSub + sub) << shift
+	return lo, lo + 1<<shift
+}
+
+func (h *hist) observe(v int64) {
+	h.counts[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// quantile returns the value at quantile q in [0, 1] (the midpoint of the
+// bucket holding the rank), or 0 for an empty histogram.
+func (h *hist) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			lo, hi := histBounds(i)
+			return lo + (hi-lo-1)/2
+		}
+	}
+	return h.max.Load()
+}
+
+func (h *hist) mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// cumulative folds the fine-grained buckets onto a coarse bound ladder given
+// in seconds (internal/server's scheme), returning cumulative counts per
+// bound plus the +Inf total — so client-side distributions line up with the
+// daemon's /metrics histograms.
+func (h *hist) cumulative(boundsSeconds []float64) []uint64 {
+	out := make([]uint64, len(boundsSeconds)+1)
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo, hi := histBounds(i)
+		mid := float64(lo+(hi-lo-1)/2) / 1e9
+		j := len(boundsSeconds)
+		for k, b := range boundsSeconds {
+			if mid <= b {
+				j = k
+				break
+			}
+		}
+		out[j] += c
+	}
+	for i := 1; i < len(out); i++ {
+		out[i] += out[i-1]
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistIndexBoundsRoundTrip(t *testing.T) {
+	// Every bucket's bounds must contain exactly the values that index into
+	// it, and consecutive buckets must tile the value range with no gaps.
+	var prevHi int64
+	for idx := 0; idx < 40*histSub; idx++ {
+		lo, hi := histBounds(idx)
+		if lo >= hi {
+			t.Fatalf("bucket %d: empty range [%d, %d)", idx, lo, hi)
+		}
+		if idx > 0 && lo != prevHi {
+			t.Fatalf("bucket %d: lower bound %d does not continue previous upper bound %d", idx, lo, prevHi)
+		}
+		prevHi = hi
+		for _, v := range []int64{lo, hi - 1} {
+			if got := histIndex(v); got != idx {
+				t.Fatalf("histIndex(%d) = %d, want %d (bounds [%d, %d))", v, got, idx, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistIndexExtremes(t *testing.T) {
+	if got := histIndex(-5); got != 0 {
+		t.Fatalf("negative values must clamp to bucket 0, got %d", got)
+	}
+	idx := histIndex(math.MaxInt64)
+	if idx < 0 || idx >= histBuckets {
+		t.Fatalf("histIndex(MaxInt64) = %d out of [0, %d)", idx, histBuckets)
+	}
+	lo, hi := histBounds(idx)
+	if math.MaxInt64 < lo || (hi > lo && math.MaxInt64 >= hi && hi > 0) {
+		t.Fatalf("MaxInt64 not inside its bucket [%d, %d)", lo, hi)
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// Record 1..100000 ns; every quantile estimate must be within the
+	// documented relative error (2^-(histSubBits+1), under 0.8%).
+	var h hist
+	const n = 100000
+	for v := int64(1); v <= n; v++ {
+		h.observe(v)
+	}
+	maxRel := 1.0 / float64(int64(2)<<histSubBits)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		want := q * n
+		got := float64(h.quantile(q))
+		if rel := math.Abs(got-want) / want; rel > maxRel {
+			t.Errorf("quantile(%g) = %g, want ~%g (relative error %g > %g)", q, got, want, rel, maxRel)
+		}
+	}
+	if got := h.max.Load(); got != n {
+		t.Errorf("max = %d, want %d", got, n)
+	}
+	if mean := h.mean(); math.Abs(mean-(n+1)/2) > 1 {
+		t.Errorf("mean = %g, want %g", mean, float64(n+1)/2)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h hist
+	if got := h.quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	if got := h.mean(); got != 0 {
+		t.Errorf("empty mean = %g, want 0", got)
+	}
+	cum := h.cumulative([]float64{0.001, 1})
+	for i, c := range cum {
+		if c != 0 {
+			t.Errorf("empty cumulative[%d] = %d, want 0", i, c)
+		}
+	}
+}
+
+func TestHistCumulativeLadder(t *testing.T) {
+	var h hist
+	// 3 below 1ms, 2 between 1ms and 5ms, 1 above 5ms.
+	for _, v := range []int64{100_000, 200_000, 900_000, 2_000_000, 4_000_000, 10_000_000} {
+		h.observe(v)
+	}
+	cum := h.cumulative([]float64{0.001, 0.005})
+	want := []uint64{3, 5, 6}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d (full: %v)", i, cum[i], want[i], cum)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Command rfidload is the city-scale load harness: a deterministic, seedable
+// generator that synthesizes K deployments x M tags x a mixed workload
+// (batch cleans, streaming sessions with readings/smooth/SSE subscribers,
+// stay/pattern/top-k trajectory queries) and drives it against a live
+// rfidcleand with an open-loop worker-pool driver at a target request rate.
+//
+// It records per-endpoint p50/p99/p999 latency in HDR-style log-bucketed
+// histograms, error rates per class (4xx / 5xx / transport) and achieved
+// throughput; emits a human table plus a machine-readable LOAD_RESULT.json;
+// and evaluates a declarative SLO spec (-slo slo.json), exiting non-zero on
+// any violation — the CI regression gate for the serving path.
+//
+// Usage:
+//
+//	rfidcleand -addr :8080 &
+//	rfidload -daemon http://127.0.0.1:8080 -seed 1 -rate 25 -duration 20s \
+//	    -slo SLO_BASELINE.json -out LOAD_RESULT.json
+//
+// The workload plan is a pure function of the flags: two runs with the same
+// seed issue the identical operation schedule (-dry-run prints it without
+// needing a daemon).
+//
+// A second mode load-tests the SSE fan-out of an externally created session
+// (e.g. one fed by cmd/rfidedge): -sse-session attaches -sse-subscribers
+// well-behaved subscribers and exits non-zero unless every one of them
+// survives to the session's close event without being evicted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// runConfig carries the flag set. The plan-shaping subset is split into
+// planConfig; the rest steers execution.
+type runConfig struct {
+	Daemon     string
+	Workers    int
+	ReqTimeout time.Duration
+	Grace      time.Duration
+	Binary     bool
+	Duration   time.Duration
+
+	SLOPath string
+	OutPath string
+	DryRun  bool
+
+	SSESession     string
+	SSESubscribers int
+}
+
+// errSLO marks an SLO-gate failure so main can pick the exit code.
+var errSLO = errors.New("rfidload: SLO violated")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rfidload: ")
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errSLO):
+		log.Print(err)
+		os.Exit(1)
+	default:
+		log.Print(err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rfidload", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		rc runConfig
+		pc planConfig
+		ds string
+	)
+	fs.StringVar(&rc.Daemon, "daemon", "http://127.0.0.1:8080", "rfidcleand base URL")
+	fs.Uint64Var(&pc.Seed, "seed", 1, "workload seed; same seed, byte-identical plan")
+	fs.StringVar(&ds, "datasets", "SYN1", "comma-separated base datasets rotated across deployments (SYN1, SYN2)")
+	fs.IntVar(&pc.Deployments, "deployments", 2, "deployments (K) to register and spread load over")
+	fs.IntVar(&pc.Tags, "tags", 8, "reading sequences (M) synthesized per deployment")
+	fs.IntVar(&pc.ReadingDuration, "reading-duration", 60, "seconds per synthesized reading sequence")
+	fs.Float64Var(&pc.Rate, "rate", 25, "target operation issue rate per second (open loop)")
+	fs.DurationVar(&rc.Duration, "duration", 20*time.Second, "how long to issue operations")
+	fs.IntVar(&pc.Batch, "batch", 4, "sequences per batch-clean operation")
+	fs.IntVar(&pc.Chunk, "chunk", 20, "readings per streaming POST")
+	fs.IntVar(&rc.Workers, "workers", 16, "worker pool size draining the open-loop queue")
+	fs.DurationVar(&rc.ReqTimeout, "req-timeout", 30*time.Second, "per-request timeout (transport-class error past it)")
+	fs.DurationVar(&rc.Grace, "grace", 30*time.Second, "post-deadline drain budget for in-flight ops and subscribers")
+	fs.BoolVar(&rc.Binary, "binary", false, "send streaming readings as application/x-rfidclean frames instead of JSON")
+	fs.StringVar(&rc.SLOPath, "slo", "", "SLO spec to evaluate; any violation exits non-zero")
+	fs.StringVar(&rc.OutPath, "out", "", "write the machine-readable result JSON here")
+	fs.BoolVar(&rc.DryRun, "dry-run", false, "print the synthesized workload plan and exit without contacting a daemon")
+	fs.StringVar(&rc.SSESession, "sse-session", "", "skip the mixed workload: attach subscribers to this existing stream session")
+	fs.IntVar(&rc.SSESubscribers, "sse-subscribers", 10, "subscribers to attach in -sse-session mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if rc.Workers < 1 {
+		return fmt.Errorf("rfidload: -workers must be >= 1, got %d", rc.Workers)
+	}
+	rc.Daemon = strings.TrimRight(rc.Daemon, "/")
+	pc.Duration = rc.Duration
+	pc.Datasets = strings.Split(ds, ",")
+
+	// The SLO spec is parsed before any load is generated: a malformed gate
+	// must fail the run up front, not after 20 seconds of traffic.
+	var spec *sloSpec
+	if rc.SLOPath != "" {
+		var err error
+		if spec, err = loadSLO(rc.SLOPath); err != nil {
+			return err
+		}
+	}
+
+	if rc.SSESession != "" {
+		return runSSEOnly(rc, stdout)
+	}
+
+	plan, err := synthesizePlan(pc)
+	if err != nil {
+		return err
+	}
+	if rc.DryRun {
+		data, err := encodePlan(plan)
+		if err != nil {
+			return err
+		}
+		log.Printf("dry run: %s", summarizePlan(plan))
+		_, err = stdout.Write(data)
+		return err
+	}
+
+	r := newRunner(rc, plan)
+	ctx := context.Background()
+	log.Printf("plan: %s", summarizePlan(plan))
+	setupStart := time.Now()
+	if err := r.setup(ctx); err != nil {
+		return err
+	}
+	log.Printf("setup done in %.1fs; driving %s for %s", time.Since(setupStart).Seconds(), rc.Daemon, rc.Duration)
+	res := r.run(ctx)
+
+	writeTable(stdout, res)
+	return finish(rc, spec, res, stdout)
+}
+
+// finish applies the SLO gate and writes the result file (always, even on a
+// violated gate: the artifact is most valuable exactly when CI goes red).
+func finish(rc runConfig, spec *sloSpec, res *Result, stdout io.Writer) error {
+	var violations []violation
+	if spec != nil {
+		violations = spec.evaluate(res)
+		res.SLO = &SLOResult{Spec: rc.SLOPath, Passed: len(violations) == 0, Violations: violations}
+	}
+	if rc.OutPath != "" {
+		if err := writeResult(rc.OutPath, res); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", rc.OutPath)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(stdout, "SLO VIOLATION: %s\n", v.Message)
+		}
+		return fmt.Errorf("%w: %d violation(s) against %s", errSLO, len(violations), rc.SLOPath)
+	}
+	if spec != nil {
+		fmt.Fprintf(stdout, "SLO: all rules in %s hold\n", rc.SLOPath)
+	}
+	return nil
+}
+
+// runSSEOnly attaches N well-behaved subscribers to an existing session and
+// demands every one of them survive — unevicted — to the close event.
+func runSSEOnly(rc runConfig, stdout io.Writer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rc.Duration+rc.Grace)
+	defer cancel()
+	client := &http.Client{}
+	var stats sseStats
+	var wg sync.WaitGroup
+	log.Printf("attaching %d subscribers to session %s on %s", rc.SSESubscribers, rc.SSESession, rc.Daemon)
+	for i := 0; i < rc.SSESubscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			subscribe(ctx, client, rc.Daemon, rc.SSESession, nil, &stats, nil)
+		}()
+	}
+	wg.Wait()
+	res := stats.result()
+	if res == nil {
+		return fmt.Errorf("rfidload: no subscribers ran")
+	}
+	fmt.Fprintf(stdout, "sse: %d subscribers, %d events, %d closed, %d evicted, %d incomplete\n",
+		res.Subscribers, res.Events, res.Closed, res.Evicted, res.Incomplete)
+	if rc.OutPath != "" {
+		if err := writeResult(rc.OutPath, &Result{Daemon: rc.Daemon, SSE: res, Endpoints: map[string]EndpointResult{}}); err != nil {
+			return err
+		}
+	}
+	if res.Evicted > 0 || res.Closed != res.Subscribers {
+		return fmt.Errorf("%w: %d/%d subscribers saw close, %d evicted, %d incomplete",
+			errSLO, res.Closed, res.Subscribers, res.Evicted, res.Incomplete)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// This file synthesizes the workload plan: K deployments x M tags x a mixed
+// operation schedule, derived entirely from the seed so two runs with the
+// same flags issue the identical workload (-dry-run prints the plan without
+// touching a daemon, and the unit tests pin byte-identical synthesis).
+
+// planConfig are the knobs the plan is derived from.
+type planConfig struct {
+	Seed            uint64
+	Datasets        []string // base datasets, rotated across deployments
+	Deployments     int
+	Tags            int     // reading sequences synthesized per deployment
+	ReadingDuration int     // seconds per synthesized sequence
+	Rate            float64 // target operation issue rate per second
+	Duration        time.Duration
+	Batch           int // sequences per batch-clean op
+	Chunk           int // readings per stream POST
+}
+
+func (c *planConfig) validate() error {
+	if c.Deployments < 1 {
+		return fmt.Errorf("rfidload: -deployments must be >= 1, got %d", c.Deployments)
+	}
+	if c.Tags < 1 {
+		return fmt.Errorf("rfidload: -tags must be >= 1, got %d", c.Tags)
+	}
+	if c.ReadingDuration < 2 {
+		return fmt.Errorf("rfidload: -reading-duration must be >= 2, got %d", c.ReadingDuration)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("rfidload: -rate must be positive, got %g", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("rfidload: -duration must be positive, got %s", c.Duration)
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("rfidload: -batch must be >= 1, got %d", c.Batch)
+	}
+	if c.Chunk < 1 {
+		return fmt.Errorf("rfidload: -chunk must be >= 1, got %d", c.Chunk)
+	}
+	for _, name := range c.Datasets {
+		if _, err := dataset.ConfigByName(name); err != nil {
+			return fmt.Errorf("rfidload: %v", err)
+		}
+	}
+	return nil
+}
+
+// Op kinds. Clean/batch/stream create trajectories; stay/pattern/top query
+// ones created earlier in the run (or the per-deployment seed trajectory).
+const (
+	opClean   = "clean"
+	opBatch   = "batch"
+	opStream  = "stream"
+	opStay    = "stay"
+	opPattern = "pattern"
+	opTop     = "top"
+)
+
+// opWeights is the workload mix, in the order Pick indexes it.
+var opKinds = []string{opClean, opBatch, opStream, opStay, opPattern, opTop}
+var opWeights = []float64{30, 8, 12, 20, 15, 15}
+
+// deploymentPlan is one synthesized deployment: a base dataset re-seeded per
+// deployment (distinct calibration and instance streams).
+type deploymentPlan struct {
+	Dataset string `json:"dataset"`
+	Floors  int    `json:"floors"`
+	Seed    uint64 `json:"seed"`
+	Stream  uint64 `json:"stream"`
+	Tags    int    `json:"tags"`
+}
+
+// opPlan is one scheduled operation. AtMs is the open-loop issue offset from
+// the run start; the driver never waits for a previous op to finish before
+// the next offset comes due.
+type opPlan struct {
+	AtMs      int64  `json:"atMs"`
+	Kind      string `json:"kind"`
+	Dep       int    `json:"dep"`
+	Tag       int    `json:"tag,omitempty"`
+	Span      int    `json:"span,omitempty"`      // batch: sequences per request
+	Chunk     int    `json:"chunk,omitempty"`     // stream: readings per POST
+	Subscribe bool   `json:"subscribe,omitempty"` // stream: attach an SSE subscriber
+	Smooth    bool   `json:"smooth,omitempty"`    // stream: mid-stream smooth POST
+	T         int    `json:"t,omitempty"`         // stay: query timestamp
+	K         int    `json:"k,omitempty"`         // top: k
+	Pattern   string `json:"pattern,omitempty"`
+	QIndex    int    `json:"qIndex,omitempty"` // query: target selector (mod available)
+}
+
+// workloadPlan is the full deterministic plan.
+type workloadPlan struct {
+	Seed            uint64           `json:"seed"`
+	Rate            float64          `json:"rate"`
+	DurationSeconds float64          `json:"durationSeconds"`
+	ReadingDuration int              `json:"readingDuration"`
+	Deployments     []deploymentPlan `json:"deployments"`
+	Ops             []opPlan         `json:"ops"`
+}
+
+// synthesizePlan derives the full plan from the config. Everything flows
+// from one stats.RNG seeded by cfg.Seed, so the plan is a pure function of
+// the config.
+func synthesizePlan(cfg planConfig) (*workloadPlan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	p := &workloadPlan{
+		Seed:            cfg.Seed,
+		Rate:            cfg.Rate,
+		DurationSeconds: cfg.Duration.Seconds(),
+		ReadingDuration: cfg.ReadingDuration,
+	}
+	for i := 0; i < cfg.Deployments; i++ {
+		name := cfg.Datasets[i%len(cfg.Datasets)]
+		dcfg, err := dataset.ConfigByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p.Deployments = append(p.Deployments, deploymentPlan{
+			Dataset: name,
+			Floors:  dcfg.Floors,
+			Seed:    rng.Uint64(),
+			Stream:  rng.Uint64() & 0xffff,
+			Tags:    cfg.Tags,
+		})
+	}
+	n := int(math.Ceil(cfg.Rate * cfg.Duration.Seconds()))
+	span := cfg.Batch
+	if span > cfg.Tags {
+		span = cfg.Tags
+	}
+	for i := 0; i < n; i++ {
+		op := opPlan{
+			AtMs: int64(float64(i) * 1000 / cfg.Rate),
+			Kind: opKinds[rng.Pick(opWeights)],
+			Dep:  rng.Intn(cfg.Deployments),
+		}
+		switch op.Kind {
+		case opClean:
+			op.Tag = rng.Intn(cfg.Tags)
+		case opBatch:
+			op.Tag = rng.Intn(cfg.Tags)
+			op.Span = span
+		case opStream:
+			op.Tag = rng.Intn(cfg.Tags)
+			op.Chunk = cfg.Chunk
+			op.Subscribe = rng.Bernoulli(0.5)
+			op.Smooth = rng.Bernoulli(0.5)
+		case opStay:
+			op.QIndex = rng.Intn(1 << 20)
+			op.T = rng.Intn(cfg.ReadingDuration)
+		case opPattern:
+			op.QIndex = rng.Intn(1 << 20)
+			op.Pattern = synthPattern(rng, p.Deployments[op.Dep].Floors)
+		case opTop:
+			op.QIndex = rng.Intn(1 << 20)
+			op.K = 1 + rng.Intn(3)
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return p, nil
+}
+
+// synthPattern draws a trajectory pattern over the synthetic building's
+// location names ("? F2.L3 ?" or "? F0.corridor[3] ?").
+func synthPattern(rng *stats.RNG, floors int) string {
+	rooms := []string{"L1", "L2", "L3", "L4", "corridor", "stairs"}
+	name := fmt.Sprintf("F%d.%s", rng.Intn(floors), rooms[rng.Intn(len(rooms))])
+	if rng.Bernoulli(0.5) {
+		return fmt.Sprintf("? %s ?", name)
+	}
+	return fmt.Sprintf("? %s[%d] ?", name, 2+rng.Intn(3))
+}
+
+// encodePlan renders the plan as stable, diffable JSON (the -dry-run output
+// and the determinism contract: same seed, byte-identical bytes).
+func encodePlan(p *workloadPlan) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// summarizePlan is the human one-liner printed above the dry-run dump and at
+// run start.
+func summarizePlan(p *workloadPlan) string {
+	counts := map[string]int{}
+	subs := 0
+	for _, op := range p.Ops {
+		counts[op.Kind]++
+		if op.Subscribe {
+			subs++
+		}
+	}
+	parts := make([]string, 0, len(opKinds))
+	for _, k := range opKinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return fmt.Sprintf("%d deployments x %d tags, %d ops over %.0fs at %g op/s (%s, sse=%d)",
+		len(p.Deployments), p.Deployments[0].Tags, len(p.Ops), p.DurationSeconds, p.Rate,
+		strings.Join(parts, " "), subs)
+}

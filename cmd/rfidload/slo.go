@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file is the declarative SLO gate: a JSON spec of per-endpoint latency
+// ceilings, per-endpoint error-rate ceilings and a run-wide throughput
+// floor, evaluated against a finished run's Result. CI commits one of these
+// as SLO_BASELINE.json and fails the load-slo job on any violation.
+
+// endpointSLO bounds one endpoint. Pointers distinguish "omitted" from an
+// explicit 0 (maxErrorRate 0 means no errors tolerated at all).
+type endpointSLO struct {
+	MaxP50Ms     *float64 `json:"maxP50Ms,omitempty"`
+	MaxP99Ms     *float64 `json:"maxP99Ms,omitempty"`
+	MaxP999Ms    *float64 `json:"maxP999Ms,omitempty"`
+	MaxErrorRate *float64 `json:"maxErrorRate,omitempty"`
+}
+
+// sloSpec is the on-disk spec (--slo file).
+type sloSpec struct {
+	// Note documents provenance and the re-baselining procedure for humans.
+	Note string `json:"note,omitempty"`
+	// MinThroughput is the minimum achieved request throughput (req/s)
+	// across the whole run; 0 means unconstrained.
+	MinThroughput float64 `json:"minThroughput,omitempty"`
+	// Endpoints bounds individual endpoints. An endpoint named here that
+	// saw no samples during the run is a violation, not a free pass.
+	Endpoints map[string]endpointSLO `json:"endpoints,omitempty"`
+}
+
+// violation is one failed SLO rule, in both the human report and
+// LOAD_RESULT.json.
+type violation struct {
+	Endpoint string  `json:"endpoint,omitempty"`
+	Rule     string  `json:"rule"`
+	Limit    float64 `json:"limit"`
+	Actual   float64 `json:"actual"`
+	Message  string  `json:"message"`
+}
+
+// loadSLO parses and validates a spec file. Errors are usage errors: the
+// file is the gate's configuration, so a malformed one must fail loudly
+// rather than silently gate nothing.
+func loadSLO(path string) (*sloSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("rfidload: slo spec: %v", err)
+	}
+	return parseSLO(path, data)
+}
+
+func parseSLO(path string, data []byte) (*sloSpec, error) {
+	var spec sloSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("rfidload: slo spec %s is malformed: %v", path, err)
+	}
+	// Trailing garbage after the JSON document is a malformed spec too.
+	if dec.More() {
+		return nil, fmt.Errorf("rfidload: slo spec %s is malformed: trailing data after the spec object", path)
+	}
+	if spec.MinThroughput < 0 {
+		return nil, fmt.Errorf("rfidload: slo spec %s: minThroughput must be >= 0, got %g", path, spec.MinThroughput)
+	}
+	known := make(map[string]bool, len(endpointNames))
+	for _, name := range endpointNames {
+		known[name] = true
+	}
+	for name, ep := range spec.Endpoints {
+		if !known[name] {
+			return nil, fmt.Errorf("rfidload: slo spec %s: unknown endpoint %q (known: %v)", path, name, endpointNames)
+		}
+		for rule, v := range map[string]*float64{
+			"maxP50Ms": ep.MaxP50Ms, "maxP99Ms": ep.MaxP99Ms,
+			"maxP999Ms": ep.MaxP999Ms, "maxErrorRate": ep.MaxErrorRate,
+		} {
+			if v != nil && *v < 0 {
+				return nil, fmt.Errorf("rfidload: slo spec %s: %s.%s must be >= 0, got %g", path, name, rule, *v)
+			}
+		}
+	}
+	if spec.MinThroughput == 0 && len(spec.Endpoints) == 0 {
+		return nil, fmt.Errorf("rfidload: slo spec %s gates nothing: set minThroughput and/or endpoints", path)
+	}
+	return &spec, nil
+}
+
+// evaluate checks the result against the spec. Thresholds are inclusive: a
+// p99 exactly at its ceiling passes, an error rate exactly at its ceiling
+// passes (with a hair of float tolerance so 1/3 vs a JSON 0.333... literal
+// does not flap on the last bit).
+func (s *sloSpec) evaluate(res *Result) []violation {
+	var out []violation
+	if s.MinThroughput > 0 && res.Throughput < s.MinThroughput {
+		out = append(out, violation{
+			Rule: "minThroughput", Limit: s.MinThroughput, Actual: res.Throughput,
+			Message: fmt.Sprintf("achieved throughput %.1f req/s is below the %.1f req/s floor",
+				res.Throughput, s.MinThroughput),
+		})
+	}
+	names := make([]string, 0, len(s.Endpoints))
+	for name := range s.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := s.Endpoints[name]
+		got, ok := res.Endpoints[name]
+		if !ok || got.Count == 0 {
+			// An empty histogram is a violation in its own right — the
+			// workload was supposed to exercise this endpoint — and is
+			// reported without ever dividing by the zero sample count.
+			out = append(out, violation{
+				Endpoint: name, Rule: "noSamples",
+				Message: fmt.Sprintf("%s saw no samples; the gated workload did not exercise it", name),
+			})
+			continue
+		}
+		check := func(rule string, limit *float64, actual float64) {
+			if limit == nil || actual <= *limit {
+				return
+			}
+			out = append(out, violation{
+				Endpoint: name, Rule: rule, Limit: *limit, Actual: actual,
+				Message: fmt.Sprintf("%s %s %.3f exceeds the %.3f ceiling", name, rule, actual, *limit),
+			})
+		}
+		check("maxP50Ms", ep.MaxP50Ms, got.P50Ms)
+		check("maxP99Ms", ep.MaxP99Ms, got.P99Ms)
+		check("maxP999Ms", ep.MaxP999Ms, got.P999Ms)
+		if ep.MaxErrorRate != nil {
+			errs := got.Errors["4xx"] + got.Errors["5xx"] + got.Errors["transport"]
+			rate := float64(errs) / float64(got.Count)
+			if rate > *ep.MaxErrorRate+1e-9 {
+				out = append(out, violation{
+					Endpoint: name, Rule: "maxErrorRate", Limit: *ep.MaxErrorRate, Actual: rate,
+					Message: fmt.Sprintf("%s error rate %.4f (%d/%d) exceeds the %.4f ceiling",
+						name, rate, errs, got.Count, *ep.MaxErrorRate),
+				})
+			}
+		}
+	}
+	return out
+}

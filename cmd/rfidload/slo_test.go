@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+// resultWith builds a Result with one endpoint at the given percentiles and
+// error counts.
+func resultWith(name string, count uint64, errs4xx uint64, p99 float64) *Result {
+	n := count
+	return &Result{
+		Throughput: 100,
+		Endpoints: map[string]EndpointResult{
+			name: {
+				Count:     n,
+				Errors:    map[string]uint64{"4xx": errs4xx, "5xx": 0, "transport": 0},
+				ErrorRate: float64(errs4xx) / float64(n),
+				P50Ms:     p99 / 2,
+				P99Ms:     p99,
+				P999Ms:    p99 * 2,
+			},
+		},
+	}
+}
+
+func TestSLOEmptyHistogramIsViolationNotDivByZero(t *testing.T) {
+	spec := &sloSpec{Endpoints: map[string]endpointSLO{
+		"clean": {MaxP99Ms: f(100), MaxErrorRate: f(0)},
+	}}
+	// The result has no "clean" entry at all (buildResult omits zero-count
+	// endpoints), which must yield a noSamples violation, not a panic or NaN.
+	res := &Result{Endpoints: map[string]EndpointResult{}}
+	vs := spec.evaluate(res)
+	if len(vs) != 1 || vs[0].Rule != "noSamples" || vs[0].Endpoint != "clean" {
+		t.Fatalf("want one noSamples violation for clean, got %+v", vs)
+	}
+	// Same for an entry that exists but recorded nothing.
+	res.Endpoints["clean"] = EndpointResult{Count: 0}
+	vs = spec.evaluate(res)
+	if len(vs) != 1 || vs[0].Rule != "noSamples" {
+		t.Fatalf("zero-count endpoint: want noSamples, got %+v", vs)
+	}
+}
+
+func TestSLOExactlyAtThresholdPasses(t *testing.T) {
+	spec := &sloSpec{Endpoints: map[string]endpointSLO{
+		"clean": {MaxP99Ms: f(25)},
+	}}
+	if vs := spec.evaluate(resultWith("clean", 100, 0, 25)); len(vs) != 0 {
+		t.Fatalf("p99 exactly at its ceiling must pass, got %+v", vs)
+	}
+	vs := spec.evaluate(resultWith("clean", 100, 0, 25.001))
+	if len(vs) != 1 || vs[0].Rule != "maxP99Ms" {
+		t.Fatalf("p99 above its ceiling must violate, got %+v", vs)
+	}
+}
+
+func TestSLOErrorRateRounding(t *testing.T) {
+	// 1 error in 3 requests = 0.3333... A spec ceiling written as a short
+	// decimal 0.3333333333333333 must pass (float tolerance), a clearly lower
+	// 0.33 must violate, and an exact 0 with zero errors must pass.
+	spec := &sloSpec{Endpoints: map[string]endpointSLO{
+		"clean": {MaxErrorRate: f(0.3333333333333333)},
+	}}
+	if vs := spec.evaluate(resultWith("clean", 3, 1, 1)); len(vs) != 0 {
+		t.Fatalf("1/3 vs 0.3333333333333333 must pass, got %+v", vs)
+	}
+	spec.Endpoints["clean"] = endpointSLO{MaxErrorRate: f(0.33)}
+	if vs := spec.evaluate(resultWith("clean", 3, 1, 1)); len(vs) != 1 {
+		t.Fatalf("1/3 vs 0.33 must violate, got %+v", vs)
+	}
+	spec.Endpoints["clean"] = endpointSLO{MaxErrorRate: f(0)}
+	if vs := spec.evaluate(resultWith("clean", 3, 0, 1)); len(vs) != 0 {
+		t.Fatalf("0 errors vs maxErrorRate 0 must pass, got %+v", vs)
+	}
+	if vs := spec.evaluate(resultWith("clean", 1000000, 1, 1)); len(vs) != 1 {
+		t.Fatalf("1/1e6 vs maxErrorRate 0 must violate, got %+v", vs)
+	}
+}
+
+func TestSLOMinThroughput(t *testing.T) {
+	spec := &sloSpec{MinThroughput: 50}
+	res := &Result{Throughput: 49.9, Endpoints: map[string]EndpointResult{}}
+	vs := spec.evaluate(res)
+	if len(vs) != 1 || vs[0].Rule != "minThroughput" {
+		t.Fatalf("want minThroughput violation, got %+v", vs)
+	}
+	res.Throughput = 50
+	if vs := spec.evaluate(res); len(vs) != 0 {
+		t.Fatalf("throughput exactly at the floor must pass, got %+v", vs)
+	}
+}
+
+func TestSLOParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not JSON at all":  `SLO: be fast`,
+		"unknown field":    `{"minThroughput": 1, "endpints": {}}`,
+		"unknown endpoint": `{"endpoints": {"celan": {"maxP99Ms": 10}}}`,
+		"negative value":   `{"endpoints": {"clean": {"maxP99Ms": -1}}}`,
+		"negative floor":   `{"minThroughput": -5}`,
+		"trailing data":    `{"minThroughput": 1} {"again": true}`,
+		"gates nothing":    `{}`,
+	}
+	for name, body := range cases {
+		if _, err := parseSLO("slo.json", []byte(body)); err == nil {
+			t.Errorf("%s: malformed spec was accepted: %s", name, body)
+		} else if !strings.Contains(err.Error(), "slo spec") {
+			t.Errorf("%s: error does not read as a usage error: %v", name, err)
+		}
+	}
+}
+
+func TestSLOParseValid(t *testing.T) {
+	spec, err := parseSLO("slo.json", []byte(`{
+		"note": "calibrated 2026-08-08",
+		"minThroughput": 10,
+		"endpoints": {
+			"clean": {"maxP99Ms": 250, "maxErrorRate": 0},
+			"query_stay": {"maxP50Ms": 50, "maxP999Ms": 500}
+		}
+	}`))
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if spec.MinThroughput != 10 || len(spec.Endpoints) != 2 {
+		t.Fatalf("spec parsed wrong: %+v", spec)
+	}
+	if ep := spec.Endpoints["clean"]; ep.MaxErrorRate == nil || *ep.MaxErrorRate != 0 {
+		t.Fatal("explicit maxErrorRate 0 must survive parsing as a set pointer")
+	}
+	if ep := spec.Endpoints["clean"]; ep.MaxP50Ms != nil {
+		t.Fatal("omitted rule must stay nil")
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the harness's SSE subscriber: a well-behaved (always-reading)
+// client of GET /v1/stream/{id}/events. Subscribers attach with
+// Last-Event-ID: 0 so the hub replays the session's history — a subscriber
+// that arrives after the first deltas still sees every event — and read
+// until the close event. A hub eviction shows up either as the server's
+// "dropped" comment or as an EOF before close; the harness distinguishes
+// both from its own deadline so "zero evictions of well-behaved subscribers"
+// is a checkable claim.
+
+// sseOutcome is one subscriber's terminal state.
+type sseOutcome int
+
+const (
+	sseClosed sseOutcome = iota // saw the session close event
+	sseEvicted
+	sseIncomplete // deadline or transport failure before close
+)
+
+// sseStats aggregates subscriber outcomes across the run.
+type sseStats struct {
+	mu          sync.Mutex
+	subscribers int
+	closed      int
+	evicted     int
+	incomplete  int
+	events      atomic.Uint64
+}
+
+func (s *sseStats) add(outcome sseOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subscribers++
+	switch outcome {
+	case sseClosed:
+		s.closed++
+	case sseEvicted:
+		s.evicted++
+	default:
+		s.incomplete++
+	}
+}
+
+func (s *sseStats) result() *SSEResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subscribers == 0 {
+		return nil
+	}
+	return &SSEResult{
+		Subscribers: s.subscribers,
+		Events:      s.events.Load(),
+		Closed:      s.closed,
+		Evicted:     s.evicted,
+		Incomplete:  s.incomplete,
+	}
+}
+
+// subscribe attaches one SSE subscriber to a session and consumes events
+// until close, eviction, or ctx ends. The time from attach to the first
+// event is recorded as sse_first_event; rec may be nil (external-session
+// mode measures nothing but outcomes). ready, when non-nil, is closed as
+// soon as the subscription is established (or has definitively failed), so a
+// caller can hold the session's traffic until the subscriber is attached
+// rather than racing it against a short-lived session.
+func subscribe(ctx context.Context, client *http.Client, base, sessionID string, rec *recorder, stats *sseStats, ready chan<- struct{}) sseOutcome {
+	outcome := sseIncomplete
+	defer func() { stats.add(outcome) }()
+	signal := func() {
+		if ready != nil {
+			close(ready)
+			ready = nil
+		}
+	}
+	defer signal()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stream/"+sessionID+"/events", nil)
+	if err != nil {
+		return outcome
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Last-Event-ID", "0")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return outcome
+	}
+	signal()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			stats.events.Add(1)
+			if first {
+				first = false
+				if rec != nil {
+					rec.record("sse_first_event", time.Since(start), http.StatusOK, nil)
+				}
+			}
+			if strings.TrimPrefix(line, "event: ") == "close" {
+				outcome = sseClosed
+				return outcome
+			}
+		case strings.HasPrefix(line, ": dropped"):
+			// The hub's parting comment to a subscriber it evicted.
+			outcome = sseEvicted
+			return outcome
+		}
+	}
+	// EOF without a close event: the hub hung up on us. Unless our own
+	// deadline fired, that is an eviction.
+	if ctx.Err() == nil {
+		outcome = sseEvicted
+	}
+	return outcome
+}

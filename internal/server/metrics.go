@@ -189,14 +189,20 @@ type metrics struct {
 	recoveryTruncated     gauge // 1 when the last boot found a corrupt/truncated log tail
 }
 
+// LatencyBucketBounds returns the canonical request-latency bucket ladder
+// (seconds) used by the server's clean-duration histogram. It is exported so
+// external harnesses (cmd/rfidload) can render their per-endpoint results on
+// the same ladder and line up client-side and server-side distributions.
+func LatencyBucketBounds() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
 func newMetrics() *metrics {
 	return &metrics{
 		cleanRequests: newLabeled("mode", "outcome"),
 		batchSlots:    newLabeled("outcome"),
 		queryOps:      newLabeled("op"),
-		cleanSeconds: newHistogram(
-			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-		),
+		cleanSeconds:  newHistogram(LatencyBucketBounds()...),
 		graphBytes: newHistogram(
 			1<<10, 4<<10, 16<<10, 64<<10, 256<<10, 1<<20, 4<<20, 16<<20,
 		),
