@@ -49,7 +49,11 @@
 // records at -log-level verbosity, each /v1/ request records a span trace
 // served at /debug/traces (ring size -trace-buffer), and cleaned
 // trajectories answer /v1/trajectories/{id}/explain with per-phase timings
-// and per-constraint prune counts. On SIGINT/SIGTERM the server stops
+// and per-constraint prune counts. A background flight recorder samples
+// runtime and store health every -flight-interval into a -flight-buffer
+// ring served at /debug/flight; the window is dumped to -data-dir on an
+// eviction storm, a persistence error, or SIGQUIT (which keeps the daemon
+// serving). On SIGINT/SIGTERM the server stops
 // accepting connections, drains in-flight requests for up to -drain-timeout,
 // then stops the session reaper before exiting.
 package main
@@ -99,6 +103,8 @@ type config struct {
 	traceBuffer        int
 	dataDir            string
 	snapshotInterval   time.Duration
+	flightInterval     time.Duration
+	flightBuffer       int
 
 	ready chan<- net.Addr // if non-nil, receives the bound listen address
 }
@@ -140,6 +146,8 @@ func main() {
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "recent request traces kept for GET /debug/traces (0 = default 256, negative disables tracing)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist deployments and trajectories under this directory and recover them on boot (empty = in-memory only)")
 	flag.DurationVar(&cfg.snapshotInterval, "snapshot-interval", 0, "how often the trajectory write-ahead log is compacted into a snapshot (0 = default 1m, negative disables periodic compaction)")
+	flag.DurationVar(&cfg.flightInterval, "flight-interval", 0, "flight-recorder sampling interval for GET /debug/flight (0 = default 1s, negative disables the recorder)")
+	flag.IntVar(&cfg.flightBuffer, "flight-buffer", 0, "flight-recorder ring size in samples (0 = default 300)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -198,11 +206,33 @@ func run(ctx context.Context, cfg config) error {
 		TraceBuffer:        cfg.traceBuffer,
 		DataDir:            cfg.dataDir,
 		SnapshotInterval:   cfg.snapshotInterval,
+		FlightInterval:     cfg.flightInterval,
+		FlightBuffer:       cfg.flightBuffer,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close() // stop the session reaper and drain the WAL writer
+
+	// SIGQUIT dumps the flight-recorder window to -data-dir and keeps
+	// serving — the "what was it doing just now" probe for a live daemon.
+	// (This replaces Go's default SIGQUIT stack-dump-and-exit.)
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			switch path, err := srv.DumpFlight("sigquit"); {
+			case err != nil:
+				log.Printf("SIGQUIT: flight dump failed: %v", err)
+			case path == "":
+				log.Printf("SIGQUIT: flight window noted in memory only (set -data-dir to write dumps)")
+			default:
+				log.Printf("SIGQUIT: flight window dumped to %s", path)
+			}
+		}
+	}()
+
 	if cfg.dataDir != "" {
 		log.Printf("durable mode: persisting to %s", cfg.dataDir)
 	}

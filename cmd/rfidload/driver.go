@@ -195,7 +195,7 @@ func (r *runner) call(ctx context.Context, endpoint, method, path, contentType s
 	}
 	req, err := http.NewRequestWithContext(ctx, method, r.base+path, rd)
 	if err != nil {
-		r.rec.record(endpoint, 0, 0, err)
+		r.rec.record(endpoint, 0, 0, err, "")
 		return 0, err
 	}
 	if contentType != "" {
@@ -204,17 +204,18 @@ func (r *runner) call(ctx context.Context, endpoint, method, path, contentType s
 	start := time.Now()
 	resp, err := r.client.Do(req)
 	if err != nil {
-		r.rec.record(endpoint, time.Since(start), 0, err)
+		r.rec.record(endpoint, time.Since(start), 0, err, "")
 		return 0, err
 	}
+	reqID := resp.Header.Get("X-Request-ID")
 	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	elapsed := time.Since(start)
 	if err != nil {
-		r.rec.record(endpoint, elapsed, 0, err)
+		r.rec.record(endpoint, elapsed, 0, err, reqID)
 		return 0, err
 	}
-	r.rec.record(endpoint, elapsed, resp.StatusCode, nil)
+	r.rec.record(endpoint, elapsed, resp.StatusCode, nil, reqID)
 	if resp.StatusCode/100 == 2 && out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
 			return resp.StatusCode, err
@@ -250,7 +251,7 @@ func (r *runner) run(ctx context.Context) *Result {
 					r.skipped.Add(1)
 					continue
 				}
-				r.rec.schedLag.observe(time.Since(q.at).Nanoseconds())
+				r.rec.schedLag.Observe(time.Since(q.at).Nanoseconds())
 				r.execute(runCtx, q.op)
 			}
 		}()

@@ -10,6 +10,12 @@
 // and evaluates a declarative SLO spec (-slo slo.json), exiting non-zero on
 // any violation — the CI regression gate for the serving path.
 //
+// After the run it closes the observability loop: the daemon's traces for
+// each endpoint's slowest requests are fetched back by request ID and their
+// wall time attributed to server-side phases (the tailAttribution block of
+// LOAD_RESULT.json and a human table); -flight-out additionally saves the
+// daemon's /debug/flight runtime window covering the run.
+//
 // Usage:
 //
 //	rfidcleand -addr :8080 &
@@ -50,9 +56,10 @@ type runConfig struct {
 	Binary     bool
 	Duration   time.Duration
 
-	SLOPath string
-	OutPath string
-	DryRun  bool
+	SLOPath   string
+	OutPath   string
+	FlightOut string
+	DryRun    bool
 
 	SSESession     string
 	SSESubscribers int
@@ -100,6 +107,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.BoolVar(&rc.Binary, "binary", false, "send streaming readings as application/x-rfidclean frames instead of JSON")
 	fs.StringVar(&rc.SLOPath, "slo", "", "SLO spec to evaluate; any violation exits non-zero")
 	fs.StringVar(&rc.OutPath, "out", "", "write the machine-readable result JSON here")
+	fs.StringVar(&rc.FlightOut, "flight-out", "", "after the run, fetch the daemon's /debug/flight window to this file")
 	fs.BoolVar(&rc.DryRun, "dry-run", false, "print the synthesized workload plan and exit without contacting a daemon")
 	fs.StringVar(&rc.SSESession, "sse-session", "", "skip the mixed workload: attach subscribers to this existing stream session")
 	fs.IntVar(&rc.SSESubscribers, "sse-subscribers", 10, "subscribers to attach in -sse-session mode")
@@ -150,6 +158,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 	log.Printf("setup done in %.1fs; driving %s for %s", time.Since(setupStart).Seconds(), rc.Daemon, rc.Duration)
 	res := r.run(ctx)
+
+	// Post-run: resolve the slowest requests' traces into per-phase
+	// breakdowns, and optionally pull the daemon's flight window while it
+	// still covers the run.
+	r.attributeTails(ctx, res)
+	if rc.FlightOut != "" {
+		if err := r.fetchFlight(ctx, rc.FlightOut); err != nil {
+			log.Printf("flight window fetch failed: %v", err)
+		} else {
+			log.Printf("wrote %s", rc.FlightOut)
+		}
+	}
 
 	writeTable(stdout, res)
 	return finish(rc, spec, res, stdout)

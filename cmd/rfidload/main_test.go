@@ -32,6 +32,7 @@ func TestEndToEndPassingSLO(t *testing.T) {
 	dir := t.TempDir()
 	sloPath := filepath.Join(dir, "slo.json")
 	outPath := filepath.Join(dir, "result.json")
+	flightPath := filepath.Join(dir, "flight.json")
 	// Generous ceilings: the gate must pass on any healthy in-process run.
 	if err := os.WriteFile(sloPath, []byte(`{
 		"minThroughput": 1,
@@ -45,7 +46,7 @@ func TestEndToEndPassingSLO(t *testing.T) {
 	}
 
 	var stdout bytes.Buffer
-	if err := run(e2eArgs(ts, "-slo", sloPath, "-out", outPath), &stdout); err != nil {
+	if err := run(e2eArgs(ts, "-slo", sloPath, "-out", outPath, "-flight-out", flightPath), &stdout); err != nil {
 		t.Fatalf("load run failed: %v\n%s", err, stdout.String())
 	}
 
@@ -80,6 +81,48 @@ func TestEndToEndPassingSLO(t *testing.T) {
 	}
 	if res.SSE != nil && res.SSE.Evicted > 0 {
 		t.Fatalf("well-behaved SSE subscribers were evicted: %+v", res.SSE)
+	}
+
+	// Tail attribution: the clean endpoint's slowest requests must resolve
+	// to server-side traces with a named dominant phase — the daemon's
+	// retention policy always holds the slowest-N per endpoint, so a healthy
+	// run cannot come back empty.
+	tail := res.TailAttribution["clean"]
+	if tail == nil || len(tail.Slowest) == 0 {
+		t.Fatalf("no tail attribution for clean:\n%s", data)
+	}
+	attributed := 0
+	for _, s := range tail.Slowest {
+		if s.RequestID == "" || s.Ms <= 0 {
+			t.Fatalf("malformed slow request: %+v", s)
+		}
+		if len(s.Phases) > 0 {
+			attributed++
+			if s.DominantPhase == "" {
+				t.Fatalf("phases without a dominant phase: %+v", s)
+			}
+		}
+	}
+	if attributed == 0 {
+		t.Fatalf("no clean slow request resolved to a trace:\n%s", data)
+	}
+	if tail.DominantPhase == "" {
+		t.Fatalf("endpoint-level dominant phase missing: %+v", tail)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("tail attribution")) {
+		t.Fatalf("human table missing the tail attribution section:\n%s", stdout.String())
+	}
+
+	// The flight window was fetched and is a JSON document with samples.
+	fdata, err := os.ReadFile(flightPath)
+	if err != nil {
+		t.Fatalf("flight window not written: %v", err)
+	}
+	var flight struct {
+		Samples []map[string]any `json:"samples"`
+	}
+	if err := json.Unmarshal(fdata, &flight); err != nil || len(flight.Samples) == 0 {
+		t.Fatalf("flight window empty or invalid (err %v):\n%s", err, fdata)
 	}
 }
 

@@ -113,7 +113,7 @@ func subscribe(ctx context.Context, client *http.Client, base, sessionID string,
 			if first {
 				first = false
 				if rec != nil {
-					rec.record("sse_first_event", time.Since(start), http.StatusOK, nil)
+					rec.record("sse_first_event", time.Since(start), http.StatusOK, nil, resp.Header.Get("X-Request-ID"))
 				}
 			}
 			if strings.TrimPrefix(line, "event: ") == "close" {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// This file closes the observability loop after a run: the recorder kept the
+// request IDs of each endpoint's slowest requests, the daemon kept their span
+// traces (its retention policy always holds the slowest-N per endpoint), so
+// the harness can fetch each trace back and say WHERE the tail latency went —
+// per server-side phase, not just how large it was.
+
+// attributeTails fills res.TailAttribution from the recorder's slowest-K
+// lists. A request whose trace the daemon no longer holds (or never traced)
+// stays listed without phases.
+func (r *runner) attributeTails(ctx context.Context, res *Result) {
+	tails := make(map[string]*EndpointTail)
+	for _, endpoint := range endpointNames {
+		slow := r.rec.slowest(endpoint)
+		if len(slow) == 0 {
+			continue
+		}
+		tail := &EndpointTail{}
+		phaseTotals := make(map[string]float64)
+		for _, s := range slow {
+			sr := SlowRequest{RequestID: s.id, Ms: ms(s.dur.Nanoseconds()), Status: s.status}
+			if tr, err := r.fetchTrace(ctx, s.id); err == nil {
+				sr.Phases, sr.DominantPhase = phaseBreakdown(tr)
+				for k, v := range sr.Phases {
+					phaseTotals[k] += v
+				}
+			}
+			tail.Slowest = append(tail.Slowest, sr)
+		}
+		tail.DominantPhase = dominantPhase(phaseTotals)
+		tails[endpoint] = tail
+	}
+	if len(tails) > 0 {
+		res.TailAttribution = tails
+	}
+}
+
+// fetchTrace GETs one span tree from /debug/traces?id=.
+func (r *runner) fetchTrace(ctx context.Context, id string) (*obs.TraceExport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/debug/traces?id="+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/traces?id=%s: %s", id, resp.Status)
+	}
+	var tr obs.TraceExport
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// phaseBreakdown sums the http.request root's direct child spans by name
+// (milliseconds); whatever the spans do not cover is "unattributed" —
+// middleware, serialization, scheduling.
+func phaseBreakdown(tr *obs.TraceExport) (map[string]float64, string) {
+	if len(tr.Spans) == 0 {
+		return nil, ""
+	}
+	root := tr.Spans[0]
+	phases := make(map[string]float64)
+	var covered int64
+	for _, c := range root.Spans {
+		phases[c.Name] += float64(c.DurationMicros) / 1e3
+		covered += c.DurationMicros
+	}
+	if rem := root.DurationMicros - covered; rem > 0 {
+		phases["unattributed"] = float64(rem) / 1e3
+	}
+	return phases, dominantPhase(phases)
+}
+
+// dominantPhase picks the largest phase (ties break by name for determinism).
+func dominantPhase(phases map[string]float64) string {
+	var name string
+	var max float64
+	for k, v := range phases {
+		if v > max || (v == max && (name == "" || k < name)) {
+			name, max = k, v
+		}
+	}
+	return name
+}
+
+// fetchFlight writes the daemon's /debug/flight window verbatim to path.
+func (r *runner) fetchFlight(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/debug/flight", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/flight: %s: %s", resp.Status, data)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

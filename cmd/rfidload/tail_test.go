@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPhaseBreakdown(t *testing.T) {
+	tr := &obs.TraceExport{
+		ID: "req-1",
+		Spans: []*obs.SpanExport{{
+			Name:           "http.request",
+			DurationMicros: 10_000, // 10 ms
+			Spans: []*obs.SpanExport{
+				{Name: "constraints.lookup", DurationMicros: 1_000},
+				{Name: "core.build", DurationMicros: 6_000},
+				{Name: "store.add", DurationMicros: 500},
+			},
+		}},
+	}
+	phases, dom := phaseBreakdown(tr)
+	if dom != "core.build" {
+		t.Fatalf("dominant phase = %q, want core.build", dom)
+	}
+	want := map[string]float64{
+		"constraints.lookup": 1.0,
+		"core.build":         6.0,
+		"store.add":          0.5,
+		"unattributed":       2.5,
+	}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for k, v := range want {
+		if phases[k] != v {
+			t.Fatalf("phase %s = %v ms, want %v", k, phases[k], v)
+		}
+	}
+
+	// Repeated sibling spans (batch slots) sum into one phase.
+	tr.Spans[0].Spans = append(tr.Spans[0].Spans, &obs.SpanExport{Name: "core.build", DurationMicros: 2_000})
+	phases, _ = phaseBreakdown(tr)
+	if phases["core.build"] != 8.0 {
+		t.Fatalf("summed core.build = %v ms, want 8", phases["core.build"])
+	}
+
+	if p, d := phaseBreakdown(&obs.TraceExport{}); p != nil || d != "" {
+		t.Fatalf("empty trace: %v %q", p, d)
+	}
+}
+
+func TestDominantPhaseTieBreak(t *testing.T) {
+	if got := dominantPhase(map[string]float64{"b": 2, "a": 2, "c": 1}); got != "a" {
+		t.Fatalf("tie break = %q, want a (lexicographic)", got)
+	}
+	if got := dominantPhase(nil); got != "" {
+		t.Fatalf("empty = %q", got)
+	}
+}

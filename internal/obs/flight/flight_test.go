@@ -1,0 +1,125 @@
+package flight
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSampleAndSnapshot(t *testing.T) {
+	calls := 0
+	r := New(time.Hour, 4, func() map[string]int64 {
+		calls++
+		return map[string]int64{"store_bytes": int64(calls)}
+	})
+	for i := 0; i < 6; i++ {
+		r.Sample()
+	}
+	snap := r.Snapshot()
+	if len(snap.Samples) != 4 {
+		t.Fatalf("ring holds %d samples, want 4", len(snap.Samples))
+	}
+	// Oldest-first: the ring kept ticks 3..6.
+	for i, s := range snap.Samples {
+		if s.Gauges["store_bytes"] != int64(i+3) {
+			t.Fatalf("sample %d gauge = %d, want %d", i, s.Gauges["store_bytes"], i+3)
+		}
+		if s.Goroutines <= 0 || s.UnixNanos <= 0 {
+			t.Fatalf("sample %d missing runtime fields: %+v", i, s)
+		}
+		if i > 0 && s.UnixNanos < snap.Samples[i-1].UnixNanos {
+			t.Fatalf("samples out of order at %d", i)
+		}
+	}
+	if snap.IntervalMillis != time.Hour.Milliseconds() {
+		t.Fatalf("IntervalMillis = %d", snap.IntervalMillis)
+	}
+}
+
+func TestEventsRing(t *testing.T) {
+	r := New(time.Hour, 2, nil)
+	for i := 0; i < maxEvents+5; i++ {
+		r.Note("eviction_storm", "synthetic")
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != maxEvents {
+		t.Fatalf("events ring holds %d, want %d", len(snap.Events), maxEvents)
+	}
+	if snap.Events[0].Reason != "eviction_storm" {
+		t.Fatalf("event reason = %q", snap.Events[0].Reason)
+	}
+}
+
+func TestStartCloseAndNil(t *testing.T) {
+	r := New(time.Millisecond, 8, nil)
+	r.Start()
+	r.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for len(r.Snapshot().Samples) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler produced no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Close()
+	r.Close() // idempotent
+
+	// Close without Start must not hang.
+	New(time.Hour, 2, nil).Close()
+
+	var nilRec *Recorder
+	nilRec.Start()
+	nilRec.Sample()
+	nilRec.Note("x", "")
+	if snap := nilRec.Snapshot(); len(snap.Samples) != 0 {
+		t.Fatal("nil recorder returned samples")
+	}
+	nilRec.Close()
+}
+
+func TestSchedLagNonNegative(t *testing.T) {
+	r := New(time.Hour, 2, nil)
+	r.Sample()
+	s := r.Snapshot().Samples[0]
+	if s.SchedLagNanos < 0 {
+		t.Fatalf("SchedLagNanos = %d, want >= 0", s.SchedLagNanos)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New(time.Hour, 16, func() map[string]int64 { return map[string]int64{"g": 1} })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				r.Sample()
+				r.Note("persist_error", "t")
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(r.Snapshot().Samples) != 16 {
+		t.Fatalf("ring not full after concurrent sampling")
+	}
+}
+
+func TestSnapshotMarshals(t *testing.T) {
+	r := New(time.Second, 2, nil)
+	r.Sample()
+	r.Note("sigquit", "")
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != 1 || len(back.Events) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

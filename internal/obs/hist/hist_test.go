@@ -1,0 +1,102 @@
+package hist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIndexBoundsRoundTrip(t *testing.T) {
+	// Every bucket's bounds must contain exactly the values that index into
+	// it, and consecutive buckets must tile the value range with no gaps.
+	var prevHi int64
+	for idx := 0; idx < 40*sub; idx++ {
+		lo, hi := Bounds(idx)
+		if lo >= hi {
+			t.Fatalf("bucket %d: empty range [%d, %d)", idx, lo, hi)
+		}
+		if idx > 0 && lo != prevHi {
+			t.Fatalf("bucket %d: lower bound %d does not continue previous upper bound %d", idx, lo, prevHi)
+		}
+		prevHi = hi
+		for _, v := range []int64{lo, hi - 1} {
+			if got := Index(v); got != idx {
+				t.Fatalf("Index(%d) = %d, want %d (bounds [%d, %d))", v, got, idx, lo, hi)
+			}
+		}
+	}
+}
+
+func TestIndexExtremes(t *testing.T) {
+	if got := Index(-5); got != 0 {
+		t.Fatalf("negative values must clamp to bucket 0, got %d", got)
+	}
+	idx := Index(math.MaxInt64)
+	if idx < 0 || idx >= NumBuckets {
+		t.Fatalf("Index(MaxInt64) = %d out of [0, %d)", idx, NumBuckets)
+	}
+	lo, hi := Bounds(idx)
+	if math.MaxInt64 < lo || (hi > lo && math.MaxInt64 >= hi && hi > 0) {
+		t.Fatalf("MaxInt64 not inside its bucket [%d, %d)", lo, hi)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// Record 1..100000 ns; every quantile estimate must be within the
+	// documented relative error (2^-(SubBits+1), under 0.8%).
+	var h Hist
+	const n = 100000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	maxRel := 1.0 / float64(int64(2)<<SubBits)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		want := q * n
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > maxRel {
+			t.Errorf("Quantile(%g) = %g, want ~%g (relative error %g > %g)", q, got, want, rel, maxRel)
+		}
+	}
+	if got := h.Max(); got != n {
+		t.Errorf("Max = %d, want %d", got, n)
+	}
+	if mean := h.Mean(); math.Abs(mean-(n+1)/2) > 1 {
+		t.Errorf("Mean = %g, want %g", mean, float64(n+1)/2)
+	}
+	if h.Count() != n {
+		t.Errorf("Count = %d, want %d", h.Count(), uint64(n))
+	}
+	if h.Sum() != n*(n+1)/2 {
+		t.Errorf("Sum = %d, want %d", h.Sum(), int64(n*(n+1)/2))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean = %g, want 0", got)
+	}
+	cum := h.Cumulative([]float64{0.001, 1})
+	for i, c := range cum {
+		if c != 0 {
+			t.Errorf("empty Cumulative[%d] = %d, want 0", i, c)
+		}
+	}
+}
+
+func TestCumulativeLadder(t *testing.T) {
+	var h Hist
+	// 3 below 1ms, 2 between 1ms and 5ms, 1 above 5ms.
+	for _, v := range []int64{100_000, 200_000, 900_000, 2_000_000, 4_000_000, 10_000_000} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative([]float64{0.001, 0.005})
+	want := []uint64{3, 5, 6}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("Cumulative[%d] = %d, want %d (full: %v)", i, cum[i], want[i], cum)
+		}
+	}
+}

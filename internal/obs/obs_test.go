@@ -178,6 +178,147 @@ func TestNilRecorderAndNilSpanAreNoOps(t *testing.T) {
 	sp.Str("k", "v") // must not panic
 }
 
+// TestTailRetentionSlowSurvivesFlood is the retention policy's core claim:
+// a slow trace must survive an arbitrary flood of fast requests on the same
+// endpoint instead of being FIFO-evicted.
+func TestTailRetentionSlowSurvivesFlood(t *testing.T) {
+	r := NewRecorder(4)
+	slow := NewTrace("slow-one")
+	if !r.RecordRequest(slow, "clean", 5*time.Second, 201) {
+		t.Fatal("slow trace was not admitted")
+	}
+	for i := 0; i < 10000; i++ {
+		r.RecordRequest(NewTrace("fast-"+strconv.Itoa(i)), "clean", time.Millisecond, 200)
+	}
+	if got := r.Find("slow-one"); got != slow {
+		t.Fatal("slow trace evicted by fast-request flood")
+	}
+	if !r.Held("slow-one") {
+		t.Fatal("Held(slow-one) = false for a retained trace")
+	}
+	heldFast := 0
+	for i := 0; i < 10000; i++ {
+		if r.Held("fast-" + strconv.Itoa(i)) {
+			heldFast++
+		}
+	}
+	if heldFast > tailReservoirSize+sampleRingSize {
+		t.Fatalf("%d fast traces held, want <= %d (reservoir fill + sample)", heldFast, tailReservoirSize+sampleRingSize)
+	}
+	// Retention stays bounded: reservoir + sample + error tiers, not 10k.
+	if held := r.Len(); held > tailReservoirSize+sampleRingSize+errorRingSize {
+		t.Fatalf("Len = %d, want <= %d", held, tailReservoirSize+sampleRingSize+errorRingSize)
+	}
+	if r.Added() != 10001 {
+		t.Fatalf("Added = %d, want 10001", r.Added())
+	}
+}
+
+// TestTailRetentionConcurrent floods one endpoint from many goroutines while
+// a reader snapshots — the -race version of the survival claim.
+func TestTailRetentionConcurrent(t *testing.T) {
+	r := NewRecorder(8)
+	slow := NewTrace("slow-concurrent")
+	r.RecordRequest(slow, "clean", 10*time.Second, 201)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1250; i++ {
+				r.RecordRequest(NewTrace(fmt.Sprintf("f%d-%d", w, i)), "clean", time.Millisecond, 200)
+				if i%100 == 0 {
+					_ = r.Snapshot(5)
+					_ = r.Held("slow-concurrent")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Find("slow-concurrent") != slow {
+		t.Fatal("slow trace evicted under concurrent flood")
+	}
+}
+
+// TestErrorTraceRetention checks 5xx traces are always admitted and kept in
+// a bounded per-endpoint ring, independent of their duration.
+func TestErrorTraceRetention(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < tailReservoirSize+5; i++ {
+		r.RecordRequest(NewTrace("pad-"+strconv.Itoa(i)), "clean", time.Hour, 200)
+	}
+	if !r.RecordRequest(NewTrace("err-1"), "clean", time.Microsecond, 500) {
+		t.Fatal("fast 5xx trace rejected; every 5xx must be admitted")
+	}
+	if !r.Held("err-1") {
+		t.Fatal("5xx trace not retained")
+	}
+	for i := 0; i < 3*errorRingSize; i++ {
+		if !r.RecordRequest(NewTrace("err-flood-"+strconv.Itoa(i)), "clean", time.Microsecond, 503) {
+			t.Fatalf("5xx trace %d rejected", i)
+		}
+	}
+	if r.Held("err-1") {
+		t.Fatal("oldest 5xx trace should have been displaced by newer errors")
+	}
+	if !r.Held("err-flood-" + strconv.Itoa(3*errorRingSize-1)) {
+		t.Fatal("newest 5xx trace missing")
+	}
+}
+
+// TestRecorderEndpointsIsolated checks one endpoint's flood cannot evict
+// another endpoint's tail.
+func TestRecorderEndpointsIsolated(t *testing.T) {
+	r := NewRecorder(4)
+	r.RecordRequest(NewTrace("stream-slow"), "stream_readings", 2*time.Second, 200)
+	for i := 0; i < 5000; i++ {
+		r.RecordRequest(NewTrace("c-"+strconv.Itoa(i)), "clean", time.Second, 200)
+	}
+	if !r.Held("stream-slow") {
+		t.Fatal("clean-endpoint flood evicted a stream_readings tail trace")
+	}
+}
+
+// TestRecordRequestNil covers the nil-recorder and nil-trace contracts.
+func TestRecordRequestNil(t *testing.T) {
+	var r *Recorder
+	if r.RecordRequest(NewTrace("x"), "clean", time.Second, 200) {
+		t.Fatal("nil recorder must not retain")
+	}
+	if r.Held("x") {
+		t.Fatal("nil recorder Held must be false")
+	}
+	r2 := NewRecorder(2)
+	if r2.RecordRequest(nil, "clean", time.Second, 200) {
+		t.Fatal("nil trace must not be retained")
+	}
+}
+
+// TestSnapshotMergesTiers checks Snapshot lists legacy and request traces
+// together, newest first, and Find resolves duplicate IDs to the newest.
+func TestSnapshotMergesTiers(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(NewTrace("legacy-1"))
+	r.RecordRequest(NewTrace("req-1"), "clean", time.Second, 200)
+	dup1 := NewTrace("persist.flush")
+	dup2 := NewTrace("persist.flush")
+	r.Record(dup1)
+	r.Record(dup2)
+	snap := r.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot holds %d traces, want 4", len(snap))
+	}
+	if snap[0].ID() != "persist.flush" || snap[3].ID() != "legacy-1" {
+		t.Fatalf("snapshot order wrong: %s ... %s", snap[0].ID(), snap[3].ID())
+	}
+	if got := r.Find("persist.flush"); got != dup2 {
+		t.Fatal("Find(dup) should return the newest duplicate")
+	}
+	if !r.Held("persist.flush") || !r.Held("req-1") {
+		t.Fatal("Held missing merged-tier traces")
+	}
+}
+
 func TestNewRequestIDUnique(t *testing.T) {
 	seen := make(map[string]bool)
 	for i := 0; i < 1000; i++ {

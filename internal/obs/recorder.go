@@ -1,92 +1,279 @@
 package obs
 
-import "sync"
+import (
+	"sort"
+	"sync"
+	"time"
+)
 
-// DefaultRecorderCapacity is the trace ring size used when NewRecorder is
+// DefaultRecorderCapacity is the legacy ring size used when NewRecorder is
 // given a non-positive capacity.
 const DefaultRecorderCapacity = 256
 
-// Recorder keeps the most recent completed traces in a fixed-size ring.
-// Recording past the capacity overwrites the oldest trace, so memory stays
-// bounded under any request rate. A nil *Recorder is valid and drops
-// everything.
-type Recorder struct {
-	mu    sync.Mutex
-	ring  []*Trace
-	next  int    // ring slot the next Record writes
-	count int    // traces currently held (<= len(ring))
-	added uint64 // traces ever recorded
+// Per-endpoint retention tiers. The numbers are deliberately small: the
+// recorder's job is to keep the *interesting* traces — the tail and the
+// failures — not to archive the flood of fast, healthy requests.
+const (
+	// tailReservoirSize is the always-keep reservoir of an endpoint's
+	// slowest requests. A trace admitted here is only displaced by a slower
+	// one, so under any load the worst requests survive.
+	tailReservoirSize = 16
+	// errorRingSize bounds the per-endpoint ring of recent 5xx traces.
+	// Every 5xx is admitted; only older 5xx traces are displaced.
+	errorRingSize = 16
+	// sampleRingSize is the FIFO ring holding the probabilistic sample of
+	// normal (fast, non-error) requests per endpoint.
+	sampleRingSize = 32
+	// sampleMask keeps ~1/8 of normal requests in the sample ring.
+	sampleMask = 7
+)
+
+// heldTrace is one retained trace plus the admission metadata Snapshot and
+// the tail policy need.
+type heldTrace struct {
+	t   *Trace
+	seq uint64 // global admission order (newest-first listing)
+	dur int64  // request duration in nanoseconds (0 for legacy records)
 }
 
-// NewRecorder returns a recorder holding up to capacity traces
-// (DefaultRecorderCapacity when capacity <= 0).
+// endpointGroup is one endpoint's two-tier retention state.
+type endpointGroup struct {
+	sample     []*heldTrace // FIFO ring of sampled normal requests
+	sampleNext int
+	slow       []*heldTrace // slowest-N reservoir, unordered
+	errs       []*heldTrace // FIFO ring of 5xx traces
+	errsNext   int
+	rng        uint64 // xorshift64 state for the admission sample
+}
+
+// Recorder retains completed traces with a tail-biased, per-endpoint policy:
+// every 5xx, the slowest N per endpoint, and a small probabilistic sample of
+// normal requests — so a slow trace survives any number of fast requests
+// instead of being flooded out of a shared FIFO. Traces recorded through the
+// legacy Record (internal operations such as persistence flushes) go to a
+// separate FIFO ring of the configured capacity. A nil *Recorder is valid
+// and drops everything.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+
+	legacy     []*heldTrace // FIFO ring for Record()
+	legacyNext int
+	legacyLen  int
+
+	groups map[string]*endpointGroup
+	ids    map[string]int // held-trace ID refcounts (duplicate IDs allowed)
+	seq    uint64
+	added  uint64 // traces ever offered (held + dropped + evicted)
+	held   int    // traces currently retained across all tiers
+}
+
+// NewRecorder returns a recorder whose legacy ring holds up to capacity
+// traces (DefaultRecorderCapacity when capacity <= 0). The per-endpoint tail
+// tiers are fixed-size and come on top.
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = DefaultRecorderCapacity
 	}
-	return &Recorder{ring: make([]*Trace, capacity)}
+	return &Recorder{
+		capacity: capacity,
+		legacy:   make([]*heldTrace, capacity),
+		groups:   make(map[string]*endpointGroup),
+		ids:      make(map[string]int),
+	}
 }
 
-// Record adds a completed trace, evicting the oldest when full.
+func (r *Recorder) holdLocked(t *Trace, dur int64) *heldTrace {
+	r.seq++
+	r.held++
+	r.ids[t.id]++
+	return &heldTrace{t: t, seq: r.seq, dur: dur}
+}
+
+func (r *Recorder) dropLocked(h *heldTrace) {
+	if h == nil {
+		return
+	}
+	r.held--
+	if n := r.ids[h.t.id] - 1; n > 0 {
+		r.ids[h.t.id] = n
+	} else {
+		delete(r.ids, h.t.id)
+	}
+}
+
+// Record adds a completed trace to the legacy FIFO ring, evicting the oldest
+// when full. Request traces should go through RecordRequest instead so the
+// tail policy applies.
 func (r *Recorder) Record(t *Trace) {
 	if r == nil || t == nil {
 		return
 	}
 	r.mu.Lock()
-	r.ring[r.next] = t
-	r.next = (r.next + 1) % len(r.ring)
-	if r.count < len(r.ring) {
-		r.count++
-	}
 	r.added++
+	r.dropLocked(r.legacy[r.legacyNext])
+	r.legacy[r.legacyNext] = r.holdLocked(t, 0)
+	r.legacyNext = (r.legacyNext + 1) % len(r.legacy)
+	if r.legacyLen < len(r.legacy) {
+		r.legacyLen++
+	}
 	r.mu.Unlock()
 }
 
-// Snapshot returns up to limit traces, newest first (all held traces when
-// limit <= 0).
+// RecordRequest offers a completed request trace under the two-tier policy
+// and reports whether the trace was retained: 5xx traces always are (bounded
+// by a per-endpoint ring), then the slowest-N reservoir, then a ~1/8
+// probabilistic sample of everything else.
+func (r *Recorder) RecordRequest(t *Trace, endpoint string, d time.Duration, status int) bool {
+	if r == nil || t == nil {
+		return false
+	}
+	dur := d.Nanoseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.added++
+	g := r.groups[endpoint]
+	if g == nil {
+		// Seed the sampler from the endpoint name so admission is
+		// deterministic per endpoint (stable tests, reproducible runs).
+		var seed uint64 = 0xcbf29ce484222325
+		for i := 0; i < len(endpoint); i++ {
+			seed = (seed ^ uint64(endpoint[i])) * 0x100000001b3
+		}
+		g = &endpointGroup{rng: seed | 1}
+		r.groups[endpoint] = g
+	}
+
+	if status >= 500 {
+		if len(g.errs) < errorRingSize {
+			g.errs = append(g.errs, r.holdLocked(t, dur))
+			return true
+		}
+		r.dropLocked(g.errs[g.errsNext])
+		g.errs[g.errsNext] = r.holdLocked(t, dur)
+		g.errsNext = (g.errsNext + 1) % errorRingSize
+		return true
+	}
+
+	// Slowest-N reservoir: admit while not full, then displace the current
+	// fastest member only for a strictly slower request.
+	if len(g.slow) < tailReservoirSize {
+		g.slow = append(g.slow, r.holdLocked(t, dur))
+		return true
+	}
+	min := 0
+	for i := 1; i < len(g.slow); i++ {
+		if g.slow[i].dur < g.slow[min].dur {
+			min = i
+		}
+	}
+	if dur > g.slow[min].dur {
+		r.dropLocked(g.slow[min])
+		g.slow[min] = r.holdLocked(t, dur)
+		return true
+	}
+
+	// Probabilistic sample of normal traffic (xorshift64).
+	g.rng ^= g.rng << 13
+	g.rng ^= g.rng >> 7
+	g.rng ^= g.rng << 17
+	if g.rng&sampleMask != 0 {
+		return false
+	}
+	if len(g.sample) < sampleRingSize {
+		g.sample = append(g.sample, r.holdLocked(t, dur))
+		return true
+	}
+	r.dropLocked(g.sample[g.sampleNext])
+	g.sample[g.sampleNext] = r.holdLocked(t, dur)
+	g.sampleNext = (g.sampleNext + 1) % sampleRingSize
+	return true
+}
+
+// allLocked collects every held trace, unsorted.
+func (r *Recorder) allLocked() []*heldTrace {
+	out := make([]*heldTrace, 0, r.held)
+	for i := 0; i < r.legacyLen; i++ {
+		out = append(out, r.legacy[i])
+	}
+	for _, g := range r.groups {
+		out = append(out, g.sample...)
+		out = append(out, g.slow...)
+		out = append(out, g.errs...)
+	}
+	return out
+}
+
+// Snapshot returns up to limit traces, newest first by admission order (all
+// held traces when limit <= 0).
 func (r *Recorder) Snapshot(limit int) []*Trace {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := r.count
-	if limit > 0 && limit < n {
-		n = limit
+	all := r.allLocked()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	if limit > 0 && limit < len(all) {
+		all = all[:limit]
 	}
-	out := make([]*Trace, 0, n)
-	for i := 1; i <= n; i++ {
-		out = append(out, r.ring[(r.next-i+len(r.ring))%len(r.ring)])
+	if len(all) == 0 {
+		return nil
+	}
+	out := make([]*Trace, len(all))
+	for i, h := range all {
+		out[i] = h.t
 	}
 	return out
 }
 
-// Find returns the most recent held trace with the given ID, or nil.
+// Find returns the most recently admitted held trace with the given ID, or
+// nil.
 func (r *Recorder) Find(id string) *Trace {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for i := 1; i <= r.count; i++ {
-		if t := r.ring[(r.next-i+len(r.ring))%len(r.ring)]; t.id == id {
-			return t
+	if r.ids[id] == 0 {
+		return nil
+	}
+	var best *heldTrace
+	for _, h := range r.allLocked() {
+		if h.t.id == id && (best == nil || h.seq > best.seq) {
+			best = h
 		}
 	}
-	return nil
+	if best == nil {
+		return nil
+	}
+	return best.t
 }
 
-// Len returns how many traces the recorder currently holds.
+// Held reports whether a trace with the given ID is currently retained. It
+// is the exemplar renderer's O(1) check that a bucket's linked request ID
+// still resolves at /debug/traces.
+func (r *Recorder) Held(id string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ids[id] > 0
+}
+
+// Len returns how many traces the recorder currently holds across all tiers.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.count
+	return r.held
 }
 
-// Added returns how many traces have ever been recorded (held + evicted).
+// Added returns how many traces have ever been offered (held, sampled away
+// or evicted).
 func (r *Recorder) Added() uint64 {
 	if r == nil {
 		return 0
@@ -96,10 +283,10 @@ func (r *Recorder) Added() uint64 {
 	return r.added
 }
 
-// Capacity returns the ring size.
+// Capacity returns the legacy ring size.
 func (r *Recorder) Capacity() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.ring)
+	return r.capacity
 }

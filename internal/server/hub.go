@@ -367,6 +367,7 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request, sess
 	w.WriteHeader(http.StatusOK)
 
 	rc := http.NewResponseController(w)
+	sse := sseInfoFrom(r.Context())
 	write := func(p []byte) bool {
 		// A deadline error just means the writer can't enforce one (test
 		// recorders); the write itself still decides the stream's fate.
@@ -378,6 +379,16 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request, sess
 		}
 		return rc.Flush() == nil
 	}
+	// writeEvent is the counted path: comments and heartbeats go through
+	// write() directly and are not billed as delivered events.
+	writeEvent := func(ev streamEvent) bool {
+		p := formatEvent(ev)
+		if !write(p) {
+			return false
+		}
+		sse.noteEvent(len(p))
+		return true
+	}
 	if !write([]byte(fmt.Sprintf(": connected session=%s replay=%d\n\n", sess.id, len(replay)))) {
 		return
 	}
@@ -387,7 +398,7 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request, sess
 		}
 	}
 	for _, ev := range replay {
-		if !write(formatEvent(ev)) {
+		if !writeEvent(ev) {
 			return
 		}
 	}
@@ -409,7 +420,7 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request, sess
 				}
 				return
 			}
-			if !write(formatEvent(ev)) {
+			if !writeEvent(ev) {
 				return
 			}
 		case <-ticker.C:

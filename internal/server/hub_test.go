@@ -7,12 +7,15 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"log/slog"
 )
 
 // ---------------------------------------------------------------------------
@@ -696,5 +699,48 @@ func BenchmarkHubFanout(b *testing.B) {
 	wg.Wait()
 	if got := h.subscribers(); got != 0 {
 		b.Fatalf("%d subscribers left", got)
+	}
+}
+
+// TestSSEAccessLogDelivery checks an events stream's access line reports
+// time-to-first-event and delivered event/byte counts once the subscriber
+// disconnects (satellite of the tail-attribution work: the one endpoint whose
+// total duration is meaningless gets delivery stats instead).
+func TestSSEAccessLogDelivery(t *testing.T) {
+	var logs syncBuffer
+	base, _, depID, sys := streamHarness(t, Options{
+		SSEHeartbeat: -1,
+		Logger:       slog.New(slog.NewTextHandler(&logs, &slog.HandlerOptions{Level: slog.LevelInfo})),
+	})
+	sid := openStream(t, base, depID, 0)
+	sr, cancel := subscribeSSE(t, base, sid, "")
+
+	readings := testReadings(t, sys, 21, 30)
+	resp, body := postJSON(t, base+"/v1/stream/"+sid+"/readings", StreamReadingsRequest{Readings: readings[:5]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readings POST = %d: %s", resp.StatusCode, body)
+	}
+	if _, err := sr.next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // disconnect: the events handler returns and logs its access line
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := logs.String()
+		if strings.Contains(got, "path=/v1/stream/"+sid+"/events") &&
+			strings.Contains(got, "eventsDelivered=1") {
+			if !strings.Contains(got, "timeToFirstEvent=") || strings.Contains(got, "timeToFirstEvent=0s") {
+				t.Fatalf("SSE access line missing a non-zero timeToFirstEvent:\n%s", got)
+			}
+			if !regexp.MustCompile(`bytesDelivered=[1-9]\d*`).MatchString(got) {
+				t.Fatalf("SSE access line missing non-zero bytesDelivered:\n%s", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no SSE access line with delivery stats:\n%s", got)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -146,6 +146,10 @@ type metrics struct {
 	cleanSeconds *histogram
 	graphBytes   *histogram
 
+	// Per-endpoint request latency with exemplars linking high buckets to
+	// retained traces (exemplar.go).
+	requestSeconds *requestHistograms
+
 	// Cleaning explain aggregates: where clean time goes, phase by phase,
 	// and how many candidate successors each constraint family pruned.
 	phaseSeconds     *labeledHistogram // {phase: derive|compile|forward|backward|revise}
@@ -199,10 +203,11 @@ func LatencyBucketBounds() []float64 {
 
 func newMetrics() *metrics {
 	return &metrics{
-		cleanRequests: newLabeled("mode", "outcome"),
-		batchSlots:    newLabeled("outcome"),
-		queryOps:      newLabeled("op"),
-		cleanSeconds:  newHistogram(LatencyBucketBounds()...),
+		cleanRequests:  newLabeled("mode", "outcome"),
+		batchSlots:     newLabeled("outcome"),
+		queryOps:       newLabeled("op"),
+		cleanSeconds:   newHistogram(LatencyBucketBounds()...),
+		requestSeconds: newRequestHistograms(LatencyBucketBounds()),
 		graphBytes: newHistogram(
 			1<<10, 4<<10, 16<<10, 64<<10, 256<<10, 1<<20, 4<<20, 16<<20,
 		),
@@ -267,6 +272,8 @@ func (m *metrics) writeTo(w io.Writer) {
 		"End-to-end latency of successful clean requests.", m.cleanSeconds)
 	writeHistogram(w, "rfidclean_graph_bytes",
 		"Estimated size of stored conditioned trajectory graphs.", m.graphBytes)
+	m.requestSeconds.writeTo(w, "rfidclean_request_duration_seconds",
+		"Per-endpoint request latency; buckets carry exemplars linking to retained traces at /debug/traces.")
 	writeLabeledHistogram(w, "rfidclean_clean_phase_duration_seconds",
 		"Per-phase latency of cleans (derive, compile, forward, backward, revise).", m.phaseSeconds)
 	writeLabeled(w, "rfidclean_pruned_candidates_total",

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"log/slog"
@@ -35,10 +37,42 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 
 func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
+// sseLogInfo carries SSE delivery stats from the hub's write loop back to
+// the access log: an events stream is effectively unbounded, so its log line
+// reports time-to-first-event and delivered volume, not just total duration.
+type sseLogInfo struct {
+	start      time.Time
+	firstNanos atomic.Int64 // attach-to-first-event latency; 0 until an event lands
+	events     atomic.Int64
+	bytes      atomic.Int64
+}
+
+// noteEvent books one delivered event of n bytes. Nil-safe so the hub can
+// call it unconditionally.
+func (i *sseLogInfo) noteEvent(n int) {
+	if i == nil {
+		return
+	}
+	if i.events.Add(1) == 1 {
+		i.firstNanos.Store(time.Since(i.start).Nanoseconds())
+	}
+	i.bytes.Add(int64(n))
+}
+
+type sseLogKey struct{}
+
+// sseInfoFrom returns the request's SSE log carrier, or nil.
+func sseInfoFrom(ctx context.Context) *sseLogInfo {
+	info, _ := ctx.Value(sseLogKey{}).(*sseLogInfo)
+	return info
+}
+
 // ServeHTTP implements http.Handler. Every request gets a request ID (echoed
 // from the client's X-Request-ID or generated) that appears on the response,
 // in error bodies, and in the access log; /v1/ requests additionally record
-// a span trace addressable by that ID at /debug/traces.
+// a span trace addressable by that ID at /debug/traces, retained under the
+// recorder's tail-biased policy, and feed the per-endpoint exemplar
+// histogram on /metrics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	reqID := r.Header.Get("X-Request-ID")
 	if reqID == "" {
@@ -52,20 +86,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 
 	api := strings.HasPrefix(r.URL.Path, "/v1/")
+	var endpoint string
 	if api {
+		endpoint = classifyEndpoint(r.Method, r.URL.Path)
 		s.metrics.inflight.add(1)
 		defer s.metrics.inflight.add(-1)
 	}
-	var tr *obs.Trace
-	if api && s.recorder != nil {
-		tr = obs.NewTrace(reqID)
-		ctx, root := obs.Start(obs.WithTrace(r.Context(), tr), "http.request")
-		root.Str("method", r.Method).Str("path", r.URL.Path)
-		r = r.WithContext(ctx)
+	var sse *sseLogInfo
+	if endpoint == "stream_events" {
+		sse = &sseLogInfo{start: start}
+		r = r.WithContext(context.WithValue(r.Context(), sseLogKey{}, sse))
+	}
+	if api {
+		var tr *obs.Trace
+		var root *obs.Span
+		if s.recorder != nil {
+			tr = obs.NewTrace(reqID)
+			var ctx context.Context
+			ctx, root = obs.Start(obs.WithTrace(r.Context(), tr), "http.request")
+			root.Str("method", r.Method).Str("path", r.URL.Path)
+			r = r.WithContext(ctx)
+		}
 		defer func() {
+			d := time.Since(start)
 			root.Int("status", int64(sw.status))
 			root.End()
-			s.recorder.Record(tr)
+			kept := s.recorder.RecordRequest(tr, endpoint, d, sw.status)
+			exID := reqID
+			if tr == nil {
+				exID = "" // tracing off: no exemplar to link
+			}
+			s.metrics.requestSeconds.observe(endpoint, d, exID, kept)
 		}()
 	}
 	defer func() {
@@ -75,13 +126,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 			level = slog.LevelDebug
 		}
-		s.logger.LogAttrs(r.Context(), level, "request",
+		attrs := []slog.Attr{
 			slog.String("requestId", reqID),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
 			slog.Duration("duration", time.Since(start)),
-		)
+		}
+		if sse != nil {
+			attrs = append(attrs,
+				slog.Duration("timeToFirstEvent", time.Duration(sse.firstNanos.Load())),
+				slog.Int64("eventsDelivered", sse.events.Load()),
+				slog.Int64("bytesDelivered", sse.bytes.Load()),
+			)
+		}
+		s.logger.LogAttrs(r.Context(), level, "request", attrs...)
 	}()
 	s.mux.ServeHTTP(sw, r)
 }

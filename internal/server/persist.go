@@ -112,6 +112,7 @@ type persister struct {
 	m            *metrics
 	logger       *slog.Logger
 	recorder     *obs.Recorder
+	onError      func(step string) // flight-recorder dump trigger; nil when disabled
 
 	wal *persist.Log // owned by writerLoop once start has been called
 
@@ -384,6 +385,9 @@ func (p *persister) updateBytesGauge() {
 func (p *persister) logError(step string, err error) {
 	p.m.persistErrors.inc()
 	p.logger.Error("persist: "+step+" failed", slog.String("error", err.Error()))
+	if p.onError != nil {
+		p.onError(step)
+	}
 }
 
 // persistDeployments snapshots the current deployments if persistence is

@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +63,7 @@ import (
 
 	rfidclean "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Server is the HTTP query head. Create one with New and mount it as an
@@ -82,6 +84,7 @@ type Server struct {
 	logger   *slog.Logger
 	recorder *obs.Recorder // nil when tracing is disabled
 	persist  *persister    // nil when Options.DataDir is unset
+	flight   *flightSink   // nil when the flight recorder is disabled
 	mux      *http.ServeMux
 }
 
@@ -132,6 +135,14 @@ type Options struct {
 	// serve (the span-tree ring size). Zero uses the default
 	// (obs.DefaultRecorderCapacity); negative disables tracing entirely.
 	TraceBuffer int
+	// FlightInterval is the runtime flight recorder's sampling cadence
+	// (GET /debug/flight; dumped to DataDir on eviction storms, persistence
+	// errors and SIGQUIT). Zero uses the default (1s); negative disables the
+	// flight recorder entirely.
+	FlightInterval time.Duration
+	// FlightBuffer is how many samples the flight ring holds. Zero uses the
+	// default (300 — a five-minute window at the default interval).
+	FlightBuffer int
 	// DataDir, when non-empty, makes the server durable: deployments and
 	// cleaned trajectory graphs are persisted under this directory and
 	// recovered at construction (Open). Empty keeps everything in memory.
@@ -199,6 +210,11 @@ func Open(opts Options) (*Server, error) {
 		heartbeat = DefaultSSEHeartbeat
 	}
 	m := newMetrics()
+	if recorder != nil {
+		// Exemplars are only emitted while their trace is still retained, so
+		// every /metrics exemplar resolves at /debug/traces?id=.
+		m.requestSeconds.held = recorder.Held
+	}
 	s := &Server{
 		deployments:  make(map[string]*deployment),
 		workers:      opts.Workers,
@@ -222,7 +238,15 @@ func Open(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/trajectories/", s.handleTrajectory)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("/debug/flight", s.handleDebugFlight)
 	s.mux.Handle("/metrics", m)
+	if opts.FlightInterval >= 0 {
+		s.flight = &flightSink{
+			rec:     flight.New(opts.FlightInterval, opts.FlightBuffer, s.flightGauges),
+			dataDir: opts.DataDir,
+			logger:  logger,
+		}
+	}
 	if opts.DataDir != "" {
 		p, err := newPersister(opts.DataDir, opts.SnapshotInterval, m, logger, recorder)
 		if err != nil {
@@ -236,6 +260,16 @@ func Open(opts Options) (*Server, error) {
 			return nil, err
 		}
 		p.start()
+	}
+	// Dump triggers attach after recovery so boot-time eviction of an
+	// over-budget snapshot is not mistaken for a live storm.
+	if s.flight != nil {
+		s.store.onEvict = s.flight.noteEvictions
+		s.sessions.onEvict = s.flight.noteEvictions
+		if s.persist != nil {
+			s.persist.onError = s.flight.notePersistError
+		}
+		s.flight.rec.Start()
 	}
 	return s, nil
 }
@@ -251,6 +285,9 @@ func (s *Server) Close() error {
 	s.sessions.close()
 	if s.persist != nil {
 		s.persist.shutdown(true)
+	}
+	if s.flight != nil {
+		s.flight.rec.Close()
 	}
 	return nil
 }
@@ -591,13 +628,17 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	// per-phase/per-constraint metrics and the explain endpoint, and cost a
 	// few hundred bytes next to the graph itself.
 	opts := &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd), Explain: &rfidclean.BuildExplain{}}
+	// Profiler labels tie CPU/heap samples from the conditioning passes back
+	// to the API surface and deployment that caused them.
 	var cleaned *rfidclean.Cleaned
-	if mode == "group" {
-		group := append([]rfidclean.ReadingSequence{req.Readings}, req.Group...)
-		cleaned, err = dep.sys.CleanGroupCtx(ctx, group, ic, opts)
-	} else {
-		cleaned, err = dep.sys.CleanCtx(ctx, req.Readings, ic, opts)
-	}
+	pprof.Do(ctx, pprof.Labels("endpoint", "clean", "deployment", dep.id), func(ctx context.Context) {
+		if mode == "group" {
+			group := append([]rfidclean.ReadingSequence{req.Readings}, req.Group...)
+			cleaned, err = dep.sys.CleanGroupCtx(ctx, group, ic, opts)
+		} else {
+			cleaned, err = dep.sys.CleanCtx(ctx, req.Readings, ic, opts)
+		}
+	})
 	switch {
 	case errors.Is(err, rfidclean.ErrNoValidTrajectory):
 		outcome = "inconsistent"
@@ -695,10 +736,18 @@ func (s *Server) handleCleanBatch(w http.ResponseWriter, r *http.Request) {
 	// CleanAll clones these options per slot (fresh Explain each), so the
 	// concurrent workers never share a report; their spans all record into
 	// this request's trace, which is safe for concurrent use.
-	cleaned, errs := dep.sys.CleanAll(req.Sequences, ic, &rfidclean.BatchOptions{
-		Build:   &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd), Explain: &rfidclean.BuildExplain{}},
-		Workers: s.workers,
-		Context: ctx, // a vanished client stops burning CPU on unstarted slots
+	var (
+		cleaned []*rfidclean.Cleaned
+		errs    []error
+	)
+	// The batch workers inherit these labels, so a profile attributes every
+	// slot's conditioning to the batch endpoint and its deployment.
+	pprof.Do(ctx, pprof.Labels("endpoint", "clean_batch", "deployment", dep.id), func(ctx context.Context) {
+		cleaned, errs = dep.sys.CleanAll(req.Sequences, ic, &rfidclean.BatchOptions{
+			Build:   &rfidclean.BuildOptions{EndLatency: endMode(req.StrictEnd), Explain: &rfidclean.BuildExplain{}},
+			Workers: s.workers,
+			Context: ctx, // a vanished client stops burning CPU on unstarted slots
+		})
 	})
 	// Allocate all ids in one critical section so a batch's ids are
 	// consecutive and never interleave with concurrent single cleans.

@@ -28,7 +28,8 @@ import (
 type trajStore struct {
 	maxBytes int64 // <= 0 means unlimited
 	m        *metrics
-	persist  *persister // nil when -data-dir is unset
+	persist  *persister  // nil when -data-dir is unset
+	onEvict  func(n int) // flight-recorder storm detector; nil when disabled
 
 	clock atomic.Int64 // logical access clock for LRU stamps
 
@@ -81,6 +82,9 @@ func (st *trajStore) addBatch(depID string, cs []*rfidclean.Cleaned) []string {
 	st.mu.Unlock()
 	st.m.storeCount.set(int64(count))
 	st.m.storeBytes.set(bytes)
+	if st.onEvict != nil {
+		st.onEvict(len(victims))
+	}
 	if st.persist != nil {
 		for i, id := range ids {
 			if id != "" {

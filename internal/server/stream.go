@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -118,6 +119,7 @@ type sessionStore struct {
 	subBuffer   int           // per-subscriber event buffer (hub.go)
 	history     int           // per-session resume ring (hub.go)
 	m           *metrics
+	onEvict     func(n int) // flight-recorder storm detector; nil when disabled
 
 	mu       sync.Mutex
 	sessions map[string]*streamSession
@@ -248,6 +250,9 @@ func (st *sessionStore) evictOldestLocked() {
 	st.markGoneLocked(victim.id)
 	st.m.streamSessions.set(int64(len(st.sessions)))
 	st.m.streamEvicted.inc()
+	if st.onEvict != nil {
+		st.onEvict(1)
+	}
 	victim.hub.shutdown(closeReasonEvicted)
 }
 
@@ -534,6 +539,12 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 	_, sp := obs.Start(r.Context(), "stream.observe")
 	defer sp.End()
 	sp.Int("readings", int64(len(req.Readings)))
+	// Label the whole observe loop once (set/restore, not a per-reading
+	// pprof.Do) so profile samples from the filter and state updates carry
+	// the endpoint and deployment.
+	labeled := pprof.WithLabels(r.Context(), pprof.Labels("endpoint", "stream_readings", "deployment", sess.dep.id))
+	pprof.SetGoroutineLabels(labeled)
+	defer pprof.SetGoroutineLabels(r.Context())
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	defer sess.touch()
@@ -676,12 +687,16 @@ func (s *Server) smoothLocked(ctx context.Context, sess *streamSession) (CleanRe
 	}
 	var cleaned *rfidclean.Cleaned
 	mode := "full"
-	if sess.state != nil && sess.ic == ic && sess.state.Duration() == len(sess.readings) {
-		mode = "incremental"
-		cleaned, err = sess.dep.sys.SmoothState(sess.state, opts)
-	} else {
-		cleaned, err = sess.dep.sys.CleanCtx(ctx, sess.readings, ic, opts)
-	}
+	// Smoothing work is labeled stream_smooth regardless of which route
+	// triggered it (the smooth endpoint or the closing smooth).
+	pprof.Do(ctx, pprof.Labels("endpoint", "stream_smooth", "deployment", sess.dep.id), func(ctx context.Context) {
+		if sess.state != nil && sess.ic == ic && sess.state.Duration() == len(sess.readings) {
+			mode = "incremental"
+			cleaned, err = sess.dep.sys.SmoothState(sess.state, opts)
+		} else {
+			cleaned, err = sess.dep.sys.CleanCtx(ctx, sess.readings, ic, opts)
+		}
+	})
 	s.metrics.streamSmooths.inc(mode)
 	if err != nil {
 		// The forward pass accepted this prefix, so conditioning can only
