@@ -44,6 +44,24 @@
 // crash — even kill -9 — loses at most the last un-fsynced flush cycle.
 // Without it, everything stays in memory and nothing touches the disk.
 //
+// The daemon also scales out horizontally. Worker mode gives a process a
+// shard-scoped id namespace:
+//
+//	rfidcleand -addr :9001 -shard-index 0 -shard-count 3
+//	rfidcleand -addr :9002 -shard-index 1 -shard-count 3
+//	rfidcleand -addr :9003 -shard-index 2 -shard-count 3
+//
+// and router mode fronts the workers as one endpoint, consistent-hashing
+// new work across them, forwarding id-addressed traffic to the owning
+// shard, replicating deployments everywhere, and scatter-gathering
+// cross-shard reads:
+//
+//	rfidcleand -shards http://localhost:9001,http://localhost:9002,http://localhost:9003
+//
+// The router's /healthz aggregates per-shard health and its /metrics
+// exports per-shard request/error/latency series; see internal/shard and
+// the README's "Running sharded" section.
+//
 // Observability: every response carries an X-Request-ID (echoed from the
 // request or generated), access lines go to stderr as structured slog
 // records at -log-level verbosity, each /v1/ request records a span trace
@@ -81,6 +99,7 @@ import (
 	rfidclean "repro"
 	"repro/internal/dataset"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // config carries the daemon's settings; main fills it from flags, tests fill
@@ -105,6 +124,16 @@ type config struct {
 	snapshotInterval   time.Duration
 	flightInterval     time.Duration
 	flightBuffer       int
+
+	// Worker mode: this process owns the id namespace n ≡ shardIndex
+	// (mod shardCount). Zero values mean single-node.
+	shardIndex int
+	shardCount int
+
+	// Router mode: front these worker base URLs instead of serving locally.
+	shards       string
+	shardTimeout time.Duration
+	shardRetries int
 
 	ready chan<- net.Addr // if non-nil, receives the bound listen address
 }
@@ -148,6 +177,11 @@ func main() {
 	flag.DurationVar(&cfg.snapshotInterval, "snapshot-interval", 0, "how often the trajectory write-ahead log is compacted into a snapshot (0 = default 1m, negative disables periodic compaction)")
 	flag.DurationVar(&cfg.flightInterval, "flight-interval", 0, "flight-recorder sampling interval for GET /debug/flight (0 = default 1s, negative disables the recorder)")
 	flag.IntVar(&cfg.flightBuffer, "flight-buffer", 0, "flight-recorder ring size in samples (0 = default 300)")
+	flag.IntVar(&cfg.shardIndex, "shard-index", 0, "this worker's shard index in [0, -shard-count)")
+	flag.IntVar(&cfg.shardCount, "shard-count", 0, "total worker shards; > 1 scopes this worker's ids to its shard-index residue class")
+	flag.StringVar(&cfg.shards, "shards", "", "comma-separated worker base URLs; when set the daemon runs as a router over them instead of serving locally")
+	flag.DurationVar(&cfg.shardTimeout, "shard-timeout", 0, "router: per-forwarded-request timeout (0 = 30s default)")
+	flag.IntVar(&cfg.shardRetries, "shard-retries", -1, "router: retries per request on connection-level errors (-1 = default 2, 0 disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -161,6 +195,9 @@ func main() {
 // listener closes immediately, in-flight requests get up to cfg.drain to
 // finish, and only then does run return.
 func run(ctx context.Context, cfg config) error {
+	if cfg.shards != "" {
+		return runRouter(ctx, cfg)
+	}
 	maxBody := cfg.maxBody
 	if maxBody <= 0 {
 		maxBody = -1 // Options treats 0 as "default"; negative disables
@@ -193,6 +230,8 @@ func run(ctx context.Context, cfg config) error {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	srv, err := server.Open(server.Options{
+		ShardCount:         cfg.shardCount,
+		ShardIndex:         cfg.shardIndex,
 		Workers:            cfg.workers,
 		MaxBodyBytes:       maxBody,
 		MaxStoreBytes:      cfg.maxStoreBytes,
@@ -236,6 +275,10 @@ func run(ctx context.Context, cfg config) error {
 	if cfg.dataDir != "" {
 		log.Printf("durable mode: persisting to %s", cfg.dataDir)
 	}
+	if cfg.shardCount > 1 {
+		log.Printf("worker mode: shard %d of %d (ids ≡ %d mod %d)",
+			cfg.shardIndex, cfg.shardCount, cfg.shardIndex, cfg.shardCount)
+	}
 	if cfg.demo {
 		switch id, err := preloadSYN1(srv); {
 		case err != nil:
@@ -276,6 +319,83 @@ func run(ctx context.Context, cfg config) error {
 	// pushes a terminal close event to every subscriber the moment the
 	// drain starts, letting their handlers return promptly.
 	httpServer.RegisterOnShutdown(srv.DrainSubscribers)
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests (up to %s)", cfg.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runRouter serves the sharding front-end: every request is forwarded to
+// the worker fleet named by -shards, with the same graceful-shutdown
+// contract as a worker (close the listener, drain in-flight requests).
+func runRouter(ctx context.Context, cfg config) error {
+	if cfg.demo {
+		return errors.New("-demo is a worker-mode flag; preload one worker instead")
+	}
+	if cfg.dataDir != "" {
+		return errors.New("-data-dir is a worker-mode flag; the router holds no state")
+	}
+	if cfg.shardCount > 1 {
+		return errors.New("-shard-count and -shards are mutually exclusive (worker vs router mode)")
+	}
+	var bases []string
+	for _, s := range strings.Split(cfg.shards, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if !strings.Contains(s, "://") {
+			s = "http://" + s
+		}
+		bases = append(bases, s)
+	}
+	if len(bases) == 0 {
+		return errors.New("-shards must name at least one worker base URL")
+	}
+	level, err := parseLogLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	rt, err := shard.NewRouter(shard.Options{
+		Shards:       bases,
+		Timeout:      cfg.shardTimeout,
+		Retries:      cfg.shardRetries,
+		MaxBodyBytes: cfg.maxBody,
+		Logger:       logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr()
+	}
+	log.Printf("router mode: listening on %s, fronting %d shards: %s",
+		ln.Addr(), len(bases), strings.Join(bases, ", "))
+
+	httpServer := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.Serve(ln) }()
 

@@ -136,7 +136,7 @@ func (r *runner) setup(ctx context.Context) error {
 		rt.serverID = reg.ID
 
 		var seeded server.CleanResponse
-		if err := r.callJSON(ctx, http.MethodPost, "/v1/clean", rt.cleanBody(rt.seqs[0:1]), &seeded); err != nil {
+		if err := r.callJSON(ctx, http.MethodPost, "/v1/clean", rt.cleanBody(0, rt.seqs[0:1]), &seeded); err != nil {
 			return fmt.Errorf("rfidload: seeding deployment %s with a trajectory: %v", reg.ID, err)
 		}
 		rt.addTarget(seeded.ID)
@@ -174,15 +174,24 @@ func (r *runner) callJSON(ctx context.Context, method, path string, body []byte,
 }
 
 // cleanBody builds a CleanRequest (one sequence plus optional group mates).
-func (d *depRuntime) cleanBody(seqs []rfidclean.ReadingSequence) []byte {
+// tag is the plan's tag index; it rides along as the request's tag so a
+// sharding router keeps one object's cleans on one shard.
+func (d *depRuntime) cleanBody(tag int, seqs []rfidclean.ReadingSequence) []byte {
 	body, _ := json.Marshal(server.CleanRequest{
 		Deployment: d.serverID,
+		Tag:        d.tagName(tag),
 		Readings:   seqs[0],
 		MaxSpeed:   d.maxSpeed,
 		MinStay:    d.minStay,
 		TTCap:      d.ttCap,
 	})
 	return body
+}
+
+// tagName labels a plan tag index as a stable object identity, unique
+// across deployments.
+func (d *depRuntime) tagName(tag int) string {
+	return fmt.Sprintf("%s-tag%d", d.serverID, tag)
 }
 
 // call issues one measured request and records it under endpoint. The
@@ -308,7 +317,7 @@ func (r *runner) execute(ctx context.Context, op opPlan) {
 	case opClean:
 		var out server.CleanResponse
 		if st, err := r.call(ctx, "clean", http.MethodPost, "/v1/clean",
-			"application/json", dep.cleanBody(dep.seqs[op.Tag:op.Tag+1]), &out); err == nil && st/100 == 2 {
+			"application/json", dep.cleanBody(op.Tag, dep.seqs[op.Tag:op.Tag+1]), &out); err == nil && st/100 == 2 {
 			dep.addTarget(out.ID)
 		}
 	case opBatch:
@@ -363,6 +372,7 @@ func (r *runner) execute(ctx context.Context, op opPlan) {
 func (r *runner) executeStream(ctx context.Context, dep *depRuntime, op opPlan) {
 	body, _ := json.Marshal(server.StreamOpenRequest{
 		Deployment: dep.serverID,
+		Tag:        dep.tagName(op.Tag),
 		MaxSpeed:   dep.maxSpeed,
 		MinStay:    dep.minStay,
 		TTCap:      dep.ttCap,

@@ -79,7 +79,7 @@ func TestDeploymentListNumericOrder(t *testing.T) {
 // trajectory listing: t2 before t10.
 func TestTrajectoryListNumericOrder(t *testing.T) {
 	cs := testCleaneds(t, 11)
-	st := newTrajStore(0, newMetrics())
+	st := newTrajStore(0, 1, 0, newMetrics())
 	st.addBatch("d1", cs)
 	rows := st.list()
 	if len(rows) != 11 {

@@ -1,0 +1,102 @@
+package server
+
+import (
+	rfidclean "repro"
+)
+
+// This file defines the narrow seams between the HTTP handlers and the
+// server's stateful subsystems. Handlers program against these interfaces;
+// the concrete implementations (trajStore, sessionStore, constraintCache)
+// stay package-private and are wired up in Open, which also owns the
+// persistence and flight-recorder hooks that need the concrete types.
+// Keeping the handler surface this small is what lets cmd/rfidcleand run
+// the same server code as one worker shard of a sharded deployment
+// (internal/shard): everything a shard must agree on — id allocation,
+// lookup, deletion — is visible here, and nothing else leaks.
+
+// trajectoryStore is the handler-facing surface of the cleaned-graph store:
+// allocate ids and admit graphs, resolve and delete them, and report
+// occupancy for /healthz. Persistence, recovery, eviction wiring and
+// snapshotting are deliberately absent — they belong to Open and the
+// persister, not to request handlers.
+type trajectoryStore interface {
+	// add stores one cleaned graph under a fresh id and returns it.
+	add(depID string, c *rfidclean.Cleaned) string
+	// addBatch stores every non-nil graph in one critical section; the
+	// returned slice is positional, "" for nil slots.
+	addBatch(depID string, cs []*rfidclean.Cleaned) []string
+	// get resolves an id, touching its LRU stamp; nil when unknown.
+	get(id string) *trajectory
+	// delete removes one trajectory, reporting whether it existed.
+	delete(id string) bool
+	// deleteByDep removes every trajectory of a deployment, returning how
+	// many were dropped.
+	deleteByDep(depID string) int
+	// stats reports the live item count and estimated bytes.
+	stats() (count int, bytes int64)
+	// list returns one row per stored trajectory, ids in numeric order.
+	list() []TrajectoryRow
+}
+
+// sessionRegistry is the handler-facing surface of the streaming-session
+// layer: open/resolve/close sessions and answer the liveness questions the
+// stream endpoints ask. The reaper, tombstone ring and eviction policy are
+// implementation details of sessionStore.
+type sessionRegistry interface {
+	// open creates a session pinned to dep and the given constraint state;
+	// nil when the registry has shut down.
+	open(dep *deployment, prms rfidclean.ConstraintParams, ic *rfidclean.ConstraintSet, state *rfidclean.BuildState, f *rfidclean.Filter) *streamSession
+	// get resolves a session id; nil when unknown or closed.
+	get(id string) *streamSession
+	// remove deletes a session, reporting whether it existed.
+	remove(id string) bool
+	// isGone reports that the id names a session that existed and closed
+	// (the 410-vs-404 distinction).
+	isGone(id string) bool
+	// count returns the number of open sessions.
+	count() int
+	// readingBudget is the per-session smoothing-buffer cap (<= 0:
+	// unlimited).
+	readingBudget() int
+	// drainSubscribers force-closes every SSE subscriber without closing
+	// the sessions (graceful-shutdown hook).
+	drainSubscribers()
+	// close stops the reaper and drops every session; idempotent.
+	close()
+}
+
+// constraintSource memoizes constraint inference for one deployment. get
+// runs infer at most once per parameter set (concurrent misses share the
+// computation); hit reports whether the entry already existed.
+type constraintSource interface {
+	get(p rfidclean.ConstraintParams, infer func() (*rfidclean.ConstraintSet, error)) (ic *rfidclean.ConstraintSet, err error, hit bool)
+	len() int
+}
+
+// Interface conformance is pinned at compile time so a drifting method set
+// fails here, next to the contract, rather than at the call sites.
+var (
+	_ trajectoryStore  = (*trajStore)(nil)
+	_ sessionRegistry  = (*sessionStore)(nil)
+	_ constraintSource = (*constraintCache)(nil)
+)
+
+// nextStridedID returns the smallest n > cur with n % stride == offset;
+// stride <= 1 degenerates to cur+1. Id counters in a sharded deployment
+// advance through this so worker shard i of N mints ids congruent to i mod
+// N: two shards can never mint the same id, and the router derives the
+// owner of an existing id from its residue alone — no ring lookup, no
+// shared counter. It also rounds counters recovered from a pre-sharding
+// data directory (or a different shard assignment) up to the shard's own
+// residue class instead of trusting their residue.
+func nextStridedID(cur, stride, offset int) int {
+	n := cur + 1
+	if stride <= 1 {
+		return n
+	}
+	rem := n % stride
+	if rem <= offset {
+		return n + offset - rem
+	}
+	return n + stride - rem + offset
+}

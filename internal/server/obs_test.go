@@ -382,7 +382,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 
 	// With a running reaper: every closer must wait for the drain.
-	st := newSessionStore(Options{SessionTTL: time.Hour}, newMetrics())
+	st := newSessionStore(Options{SessionTTL: time.Hour}, 1, 0, newMetrics())
 	if st.open(&deployment{id: "d"}, rfidclean.ConstraintParams{}, nil, nil, nil) == nil {
 		t.Fatal("open returned nil before close")
 	}

@@ -423,8 +423,10 @@ func (s *Server) deploymentsDoc() depsDoc {
 // recovering the valid prefix; a corrupt deployments.json fails the boot
 // loudly, since it is written atomically and everything hangs off it.
 // It runs before the persister's writer starts, so tombstones it enqueues
-// (for budget-dropped entries) are flushed once serving begins.
-func (s *Server) recoverFrom(dir string) error {
+// (for budget-dropped entries) are flushed once serving begins. ts is the
+// concrete trajectory store (restore is a recovery concern, deliberately off
+// the handler-facing trajectoryStore interface).
+func (s *Server) recoverFrom(dir string, ts *trajStore) error {
 	start := time.Now()
 	tr := obs.NewTrace("persist.recover")
 	_, root := obs.Start(obs.WithTrace(context.Background(), tr), "persist.recover")
@@ -510,7 +512,7 @@ func (s *Server) recoverFrom(dir string) error {
 		}
 		items = append(items, snapItem{id: pe.rec.ID, depID: pe.rec.Dep, c: c})
 	}
-	budgetDropped := s.store.restore(items, maxT)
+	budgetDropped := ts.restore(items, maxT)
 
 	recoveredTraj := len(items) - budgetDropped
 	s.metrics.recoveredDeployments.set(int64(recoveredDeps))

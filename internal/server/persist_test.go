@@ -489,7 +489,7 @@ func TestPersistenceOffByDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if srv.persist != nil || srv.store.persist != nil {
+	if srv.persist != nil || srv.store.(*trajStore).persist != nil {
 		t.Fatal("persistence wired in without DataDir")
 	}
 }

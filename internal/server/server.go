@@ -46,6 +46,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -57,6 +58,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"log/slog"
@@ -73,13 +75,15 @@ type Server struct {
 	maxBody      int64         // <= 0 disables the body cap
 	cacheEntries int           // per-deployment constraint cache capacity
 	sseHeartbeat time.Duration // comment interval on idle SSE streams (<= 0 disables)
+	idStride     int           // id-allocation stride (Options.ShardCount; <= 1: single-node)
+	idOffset     int           // this shard's residue class (Options.ShardIndex)
 
 	mu          sync.RWMutex // guards deployments and nextDep
 	deployments map[string]*deployment
 	nextDep     int
 
-	store    *trajStore
-	sessions *sessionStore
+	store    trajectoryStore
+	sessions sessionRegistry
 	metrics  *metrics
 	logger   *slog.Logger
 	recorder *obs.Recorder // nil when tracing is disabled
@@ -143,6 +147,18 @@ type Options struct {
 	// FlightBuffer is how many samples the flight ring holds. Zero uses the
 	// default (300 — a five-minute window at the default interval).
 	FlightBuffer int
+	// ShardCount and ShardIndex configure the server as worker shard
+	// ShardIndex of ShardCount in a sharded deployment (cmd/rfidcleand
+	// router mode). Resource ids — trajectories, stream sessions and
+	// locally-minted deployment ids — are then allocated in the arithmetic
+	// progression {n : n mod ShardCount == ShardIndex}, so no two shards
+	// can ever mint the same id and the router derives the owner of an id
+	// from its numeric residue. Worker mode also accepts router-assigned
+	// deployment ids via the X-Rfidclean-Assign-Id header. ShardCount <= 1
+	// is single-node: every id, stride 1, assigned ids refused.
+	ShardCount int
+	// ShardIndex must be in [0, ShardCount) when ShardCount > 1.
+	ShardIndex int
 	// DataDir, when non-empty, makes the server durable: deployments and
 	// cleaned trajectory graphs are persisted under this directory and
 	// recovered at construction (Open). Empty keeps everything in memory.
@@ -158,12 +174,27 @@ type Options struct {
 // is zero.
 const DefaultMaxBodyBytes = 32 << 20
 
+// AssignIDHeader carries a router-allocated deployment id on
+// POST /v1/deployments. Only servers running in sharded worker mode
+// (Options.ShardCount > 1) accept it: the router registers one deployment
+// under the same id on every shard, and replays after a retried replication
+// are answered idempotently (200 with the same id when the body matches,
+// 409 when it does not).
+const AssignIDHeader = "X-Rfidclean-Assign-Id"
+
 type deployment struct {
 	id    string
 	dep   *rfidclean.Deployment
 	sys   *rfidclean.System
 	raw   []byte // canonical encoded form, reused by persistence snapshots
-	cache *constraintCache
+	cache constraintSource
+	// dead flips when DELETE /v1/deployments/{id} removes the deployment.
+	// A clean or smooth that looked the deployment up before the delete
+	// checks it after storing its graph: either the delete's store sweep
+	// removes the graph, or the writer observes dead and removes it itself
+	// — so an in-flight clean can never leave an orphan trajectory behind
+	// a deleted deployment.
+	dead atomic.Bool
 }
 
 type trajectory struct {
@@ -197,6 +228,12 @@ func Open(opts Options) (*Server, error) {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	stride, offset := opts.ShardCount, opts.ShardIndex
+	if stride <= 1 {
+		stride, offset = 1, 0
+	} else if offset < 0 || offset >= stride {
+		return nil, fmt.Errorf("server: ShardIndex %d out of range for ShardCount %d", opts.ShardIndex, opts.ShardCount)
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -215,14 +252,21 @@ func Open(opts Options) (*Server, error) {
 		// every /metrics exemplar resolves at /debug/traces?id=.
 		m.requestSeconds.held = recorder.Held
 	}
+	// The handler fields are interface-typed (ifaces.go); the concrete
+	// stores stay in scope here for the persistence and flight-recorder
+	// hooks only Open wires.
+	ts := newTrajStore(opts.MaxStoreBytes, stride, offset, m)
+	ss := newSessionStore(opts, stride, offset, m)
 	s := &Server{
 		deployments:  make(map[string]*deployment),
 		workers:      opts.Workers,
 		maxBody:      maxBody,
 		cacheEntries: opts.ConstraintCacheEntries,
 		sseHeartbeat: heartbeat,
-		store:        newTrajStore(opts.MaxStoreBytes, m),
-		sessions:     newSessionStore(opts, m),
+		idStride:     stride,
+		idOffset:     offset,
+		store:        ts,
+		sessions:     ss,
 		metrics:      m,
 		logger:       logger,
 		recorder:     recorder,
@@ -253,9 +297,9 @@ func Open(opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.persist = p
-		s.store.persist = p
-		p.source = s.store.snapshot
-		if err := s.recoverFrom(opts.DataDir); err != nil {
+		ts.persist = p
+		p.source = ts.snapshot
+		if err := s.recoverFrom(opts.DataDir, ts); err != nil {
 			p.wal.Close()
 			return nil, err
 		}
@@ -264,8 +308,8 @@ func Open(opts Options) (*Server, error) {
 	// Dump triggers attach after recovery so boot-time eviction of an
 	// over-budget snapshot is not mistaken for a live storm.
 	if s.flight != nil {
-		s.store.onEvict = s.flight.noteEvictions
-		s.sessions.onEvict = s.flight.noteEvictions
+		ts.onEvict = s.flight.noteEvictions
+		ss.onEvict = s.flight.noteEvictions
 		if s.persist != nil {
 			s.persist.onError = s.flight.notePersistError
 		}
@@ -390,9 +434,48 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "encoding deployment: %v", err)
 			return
 		}
+		assigned := r.Header.Get(AssignIDHeader)
+		if assigned != "" && s.idStride <= 1 {
+			writeError(w, http.StatusBadRequest,
+				"%s is only accepted in sharded worker mode (ShardCount > 1)", AssignIDHeader)
+			return
+		}
+		var assignedNum int
+		if assigned != "" {
+			n, ok := idNum("d", assigned)
+			if !ok || n < 1 {
+				writeError(w, http.StatusBadRequest, "invalid %s %q (want d<number>)", AssignIDHeader, assigned)
+				return
+			}
+			assignedNum = n
+		}
 		s.mu.Lock()
-		s.nextDep++
-		id := "d" + strconv.Itoa(s.nextDep)
+		var id string
+		if assigned != "" {
+			// Router-assigned registration. The router replicates one
+			// registration to every shard with retry, so a replay of an id
+			// this shard already holds is expected — idempotent when the
+			// body matches, a 409 when it does not (two routers, or a
+			// counter that went backwards).
+			if existing := s.deployments[assigned]; existing != nil {
+				match := bytes.Equal(existing.raw, raw)
+				s.mu.Unlock()
+				if match {
+					writeJSON(w, http.StatusOK, map[string]string{"id": assigned})
+					return
+				}
+				writeError(w, http.StatusConflict,
+					"deployment id %q is already registered with a different definition", assigned)
+				return
+			}
+			id = assigned
+			if assignedNum > s.nextDep {
+				s.nextDep = assignedNum
+			}
+		} else {
+			s.nextDep = nextStridedID(s.nextDep, s.idStride, s.idOffset)
+			id = "d" + strconv.Itoa(s.nextDep)
+		}
 		s.deployments[id] = &deployment{
 			id: id, dep: dep, sys: sys, raw: raw,
 			cache: newConstraintCache(s.cacheEntries),
@@ -449,8 +532,13 @@ func (s *Server) handleDeploymentByID(w http.ResponseWriter, r *http.Request) {
 		})
 	case http.MethodDelete:
 		s.mu.Lock()
-		_, ok := s.deployments[id]
+		d, ok := s.deployments[id]
 		if ok {
+			// Flip dead before the store sweep below: a clean that resolved
+			// this deployment before the delete re-checks dead after storing
+			// its graph, so whichever of {sweep, post-add check} runs second
+			// removes the graph (see the deployment.dead field comment).
+			d.dead.Store(true)
 			delete(s.deployments, id)
 		}
 		n := len(s.deployments)
@@ -564,6 +652,10 @@ func (s *Server) constraints(ctx context.Context, dep *deployment, p rfidclean.C
 type CleanRequest struct {
 	// Deployment is the id returned by POST /v1/deployments.
 	Deployment string `json:"deployment"`
+	// Tag optionally names the monitored object. The server itself ignores
+	// it, but a sharding router keys placement on it so one object's
+	// requests co-locate on a shard.
+	Tag string `json:"tag,omitempty"`
 	// Readings is the sequence to clean (one reading per timestamp).
 	Readings rfidclean.ReadingSequence `json:"readings"`
 	// Group optionally carries additional sequences of tags moving
@@ -653,6 +745,15 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	_, sp := obs.Start(ctx, "store.add")
 	id := s.store.add(dep.id, cleaned)
 	sp.End()
+	if dep.dead.Load() {
+		// The deployment was deleted while this clean ran; its sweep may
+		// have missed the graph we just stored, so remove it ourselves
+		// (delete is idempotent) and answer as the lookup now would.
+		s.store.delete(id)
+		outcome = "not_found"
+		writeError(w, http.StatusNotFound, "deployment %q was deleted while cleaning", dep.id)
+		return
+	}
 	st := cleaned.Stats()
 	outcome = "ok"
 	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())
@@ -754,6 +855,17 @@ func (s *Server) handleCleanBatch(w http.ResponseWriter, r *http.Request) {
 	_, sp := obs.Start(ctx, "store.add")
 	ids := s.store.addBatch(dep.id, cleaned)
 	sp.End()
+	if dep.dead.Load() {
+		// Deployment deleted mid-batch: compensate like handleClean does.
+		for _, id := range ids {
+			if id != "" {
+				s.store.delete(id)
+			}
+		}
+		outcome = "not_found"
+		writeError(w, http.StatusNotFound, "deployment %q was deleted while cleaning", dep.id)
+		return
+	}
 	out := make([]BatchCleanResult, len(req.Sequences))
 	for i := range req.Sequences {
 		if errs[i] != nil {

@@ -27,6 +27,8 @@ import (
 // persistence entirely off the in-memory hot path.
 type trajStore struct {
 	maxBytes int64 // <= 0 means unlimited
+	stride   int   // id-allocation stride (shard count; <= 1: single-node)
+	offset   int   // this shard's residue class
 	m        *metrics
 	persist  *persister  // nil when -data-dir is unset
 	onEvict  func(n int) // flight-recorder storm detector; nil when disabled
@@ -45,8 +47,8 @@ type storeItem struct {
 	lastUsed atomic.Int64
 }
 
-func newTrajStore(maxBytes int64, m *metrics) *trajStore {
-	return &trajStore{maxBytes: maxBytes, m: m, items: make(map[string]*storeItem)}
+func newTrajStore(maxBytes int64, stride, offset int, m *metrics) *trajStore {
+	return &trajStore{maxBytes: maxBytes, stride: stride, offset: offset, m: m, items: make(map[string]*storeItem)}
 }
 
 // add stores one cleaned graph and returns its id.
@@ -65,7 +67,7 @@ func (st *trajStore) addBatch(depID string, cs []*rfidclean.Cleaned) []string {
 		if c == nil {
 			continue
 		}
-		st.next++
+		st.next = nextStridedID(st.next, st.stride, st.offset)
 		id := "t" + strconv.Itoa(st.next)
 		it := &storeItem{
 			traj:  &trajectory{id: id, depID: depID, cleaned: c},

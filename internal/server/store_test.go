@@ -41,7 +41,7 @@ func TestTrajStoreLRUEviction(t *testing.T) {
 	}
 	m := newMetrics()
 	// Budget for two graphs, not three.
-	st := newTrajStore(2*one+one/2, m)
+	st := newTrajStore(2*one+one/2, 1, 0, m)
 
 	idA := st.add("d1", cs[0])
 	idB := st.add("d1", cs[1])
@@ -71,7 +71,7 @@ func TestTrajStoreLRUEviction(t *testing.T) {
 
 func TestTrajStoreBatchIDsConsecutive(t *testing.T) {
 	cs := testCleaneds(t, 3)
-	st := newTrajStore(0, newMetrics())
+	st := newTrajStore(0, 1, 0, newMetrics())
 	ids := st.addBatch("d1", []*rfidclean.Cleaned{cs[0], nil, cs[1], cs[2]})
 	want := []string{"t1", "", "t2", "t3"}
 	for i := range want {
@@ -88,7 +88,7 @@ func TestTrajStoreFreshBatchNotSelfEvicting(t *testing.T) {
 	cs := testCleaneds(t, 3)
 	one := int64(cs[0].Stats().Bytes)
 	m := newMetrics()
-	st := newTrajStore(one, m) // budget for a single graph
+	st := newTrajStore(one, 1, 0, m) // budget for a single graph
 	ids := st.addBatch("d1", cs)
 	for i, id := range ids {
 		if st.get(id) == nil {
@@ -108,7 +108,7 @@ func TestTrajStoreFreshBatchNotSelfEvicting(t *testing.T) {
 func TestTrajStoreDelete(t *testing.T) {
 	cs := testCleaneds(t, 1)
 	m := newMetrics()
-	st := newTrajStore(0, m)
+	st := newTrajStore(0, 1, 0, m)
 	id := st.add("d1", cs[0])
 	if !st.delete(id) {
 		t.Fatal("delete of existing trajectory failed")
@@ -127,7 +127,7 @@ func TestTrajStoreDelete(t *testing.T) {
 // syntheticStore builds a store of n one-byte items with monotonically
 // increasing recency stamps, without paying for n real cleans.
 func syntheticStore(n int, maxBytes int64, m *metrics) *trajStore {
-	st := newTrajStore(maxBytes, m)
+	st := newTrajStore(maxBytes, 1, 0, m)
 	for i := 0; i < n; i++ {
 		id := "t" + strconv.Itoa(i+1)
 		it := &storeItem{traj: &trajectory{id: id, depID: "d1"}, bytes: 1}

@@ -118,6 +118,8 @@ type sessionStore struct {
 	maxReadings int           // <= 0: unlimited buffering
 	subBuffer   int           // per-subscriber event buffer (hub.go)
 	history     int           // per-session resume ring (hub.go)
+	stride      int           // id-allocation stride (shard count; <= 1: single-node)
+	offset      int           // this shard's residue class
 	m           *metrics
 	onEvict     func(n int) // flight-recorder storm detector; nil when disabled
 
@@ -133,7 +135,7 @@ type sessionStore struct {
 	closed   bool
 }
 
-func newSessionStore(opts Options, m *metrics) *sessionStore {
+func newSessionStore(opts Options, stride, offset int, m *metrics) *sessionStore {
 	maxSessions := opts.MaxSessions
 	if maxSessions == 0 {
 		maxSessions = DefaultMaxSessions
@@ -163,6 +165,8 @@ func newSessionStore(opts Options, m *metrics) *sessionStore {
 		maxReadings: maxReadings,
 		subBuffer:   subBuffer,
 		history:     history,
+		stride:      stride,
+		offset:      offset,
 		m:           m,
 		sessions:    make(map[string]*streamSession),
 		gone:        make(map[string]bool),
@@ -206,7 +210,7 @@ func (st *sessionStore) open(dep *deployment, prms rfidclean.ConstraintParams, i
 	if st.maxSessions > 0 && len(st.sessions) >= st.maxSessions {
 		st.evictOldestLocked()
 	}
-	st.next++
+	st.next = nextStridedID(st.next, st.stride, st.offset)
 	s := &streamSession{
 		id:     "s" + strconv.Itoa(st.next),
 		dep:    dep,
@@ -282,6 +286,10 @@ func (st *sessionStore) count() int {
 	defer st.mu.Unlock()
 	return len(st.sessions)
 }
+
+// readingBudget reports the per-session smoothing-buffer cap (<= 0:
+// unlimited).
+func (st *sessionStore) readingBudget() int { return st.maxReadings }
 
 // reapLoop periodically drops sessions idle past the TTL. It exits when the
 // store closes; the tick is a fraction of the TTL so a session outlives its
@@ -364,6 +372,10 @@ func (st *sessionStore) close() {
 type StreamOpenRequest struct {
 	// Deployment is the id returned by POST /v1/deployments.
 	Deployment string `json:"deployment"`
+	// Tag optionally names the monitored object. The server itself ignores
+	// it, but a sharding router keys session placement on it so a tag's
+	// sessions co-locate with its cleans.
+	Tag string `json:"tag,omitempty"`
 	// MaxSpeed (m/s) drives TT inference; required, > 0.
 	MaxSpeed float64 `json:"maxSpeed"`
 	// MinStay (s) drives LT inference on non-corridor locations.
@@ -439,6 +451,15 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 	sess := s.sessions.open(dep, prms, ic, state, f)
 	if sess == nil {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if dep.dead.Load() {
+		// The deployment was deleted between lookup and open: the session
+		// would pin a dead deployment and every smooth would orphan its
+		// graphs. Close it as if it were never opened.
+		s.sessions.remove(sess.id)
+		sess.hub.shutdown(closeReasonClosed)
+		writeError(w, http.StatusNotFound, "deployment %q was deleted", dep.id)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"id": sess.id})
@@ -575,9 +596,9 @@ func (s *Server) handleStreamReadings(w http.ResponseWriter, r *http.Request, se
 			writeError(w, http.StatusUnprocessableEntity, "timestamp gap: got %d, next expected %d", reading.Time, next)
 			return
 		}
-		if s.sessions.maxReadings > 0 && next >= s.sessions.maxReadings {
+		if budget := s.sessions.readingBudget(); budget > 0 && next >= budget {
 			s.metrics.streamReadings.inc("budget")
-			writeError(w, http.StatusTooManyRequests, "session reading budget (%d) exhausted; smooth and close, or open a new session", s.sessions.maxReadings)
+			writeError(w, http.StatusTooManyRequests, "session reading budget (%d) exhausted; smooth and close, or open a new session", budget)
 			return
 		}
 		cands, err := sess.dep.sys.Candidates(reading.Readers)
@@ -707,6 +728,14 @@ func (s *Server) smoothLocked(ctx context.Context, sess *streamSession) (CleanRe
 	_, sp := obs.Start(ctx, "store.add")
 	id := s.store.add(sess.dep.id, cleaned)
 	sp.End()
+	if sess.dep.dead.Load() {
+		// The session outlived its deployment (deleted mid-stream). The
+		// graph just stored would be an orphan — remove it (idempotent
+		// against the delete's own sweep) and report the deployment gone.
+		s.store.delete(id)
+		return CleanResponse{}, http.StatusNotFound,
+			errors.New("deployment " + sess.dep.id + " was deleted")
+	}
 	st := cleaned.Stats()
 	outcome = "ok"
 	s.metrics.cleanSeconds.observe(time.Since(start).Seconds())

@@ -529,7 +529,7 @@ func TestStreamReaperAndClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case <-srv.sessions.done:
+	case <-srv.sessions.(*sessionStore).done:
 	default:
 		t.Fatal("reaper goroutine still running after Close")
 	}
@@ -866,7 +866,7 @@ func TestStreamStatusTopParam(t *testing.T) {
 // a terminal "evicted" close event.
 func TestEvictOldestDeterministic(t *testing.T) {
 	base, srv, depID, _ := streamHarness(t, Options{MaxSessions: 3, SessionTTL: -1})
-	st := srv.sessions
+	st := srv.sessions.(*sessionStore)
 	for round := 0; round < 8; round++ {
 		for st.count() < 3 {
 			openStream(t, base, depID, 0)
@@ -906,7 +906,7 @@ func TestEvictOldestDeterministic(t *testing.T) {
 // the ring honestly degrade to 404.
 func TestTombstoneRingWraparound(t *testing.T) {
 	base, srv, _, _ := streamHarness(t, Options{})
-	st := srv.sessions
+	st := srv.sessions.(*sessionStore)
 	const closed = sessionTombstones + 904
 	st.mu.Lock()
 	for i := 1; i <= closed; i++ {
